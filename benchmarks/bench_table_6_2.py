@@ -1,0 +1,97 @@
+"""Table 6.2 — GA-tw mutation operator comparison.
+
+Thesis protocol: 0% crossover, 100% mutation, population 50, group size
+2; ISM wins overall with EM close behind, while the substring operators
+(DM, IVM, SM, SIM) trail badly. Scaled protocol as in bench_table_6_1.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.genetic.engine import GAParameters
+from repro.genetic.ga_tw import ga_treewidth
+from repro.genetic.mutation import MUTATION_OPERATORS
+from repro.instances.registry import graph_instance
+
+from workloads import GA_ITERATIONS, GA_POPULATION, Row, print_table
+
+INSTANCES = ["queen8_8", "myciel6", "games120"]
+RUNS = 3
+
+
+def run_operator(name: str, instance: str) -> list[int]:
+    graph = graph_instance(instance)
+    parameters = GAParameters(
+        population_size=GA_POPULATION,
+        crossover_rate=0.0,
+        mutation_rate=1.0,
+        group_size=2,
+        max_iterations=GA_ITERATIONS,
+        crossover="POS",
+        mutation=name,
+    )
+    return [
+        ga_treewidth(
+            graph, parameters=parameters, seed=run, seed_heuristics=False
+        ).best_fitness
+        for run in range(RUNS)
+    ]
+
+
+def run_table() -> dict[str, list[Row]]:
+    tables = {}
+    for instance in INSTANCES:
+        rows = []
+        for name in sorted(MUTATION_OPERATORS):
+            widths = run_operator(name, instance)
+            rows.append(
+                Row(
+                    instance,
+                    {
+                        "mutation": name,
+                        "avg": round(statistics.mean(widths), 1),
+                        "min": min(widths),
+                        "max": max(widths),
+                    },
+                )
+            )
+        rows.sort(key=lambda r: r.columns["avg"])
+        tables[instance] = rows
+    return tables
+
+
+def test_table_6_2(capsys):
+    tables = run_table()
+    with capsys.disabled():
+        for instance, rows in tables.items():
+            print_table(
+                f"Table 6.2 — GA-tw mutation comparison ({instance})",
+                rows,
+                note="thesis ranking: ISM best (EM close), substring "
+                "operators trail",
+            )
+    for instance, rows in tables.items():
+        averages = {row.columns["mutation"]: row.columns["avg"] for row in rows}
+        point_ops_best = min(averages["ISM"], averages["EM"])
+        substring_ops_best = min(
+            averages["DM"], averages["IVM"], averages["SM"], averages["SIM"]
+        )
+        # the thesis's headline: point mutations beat substring mutations
+        assert point_ops_best <= substring_ops_best
+
+
+def test_benchmark_ga_tw_ism_queen8(benchmark):
+    graph = graph_instance("queen8_8")
+    parameters = GAParameters(
+        population_size=GA_POPULATION,
+        crossover_rate=0.0,
+        mutation_rate=1.0,
+        max_iterations=10,
+        mutation="ISM",
+    )
+    benchmark.pedantic(
+        lambda: ga_treewidth(graph, parameters=parameters, seed=0),
+        iterations=1,
+        rounds=1,
+    )

@@ -1,0 +1,92 @@
+"""Table 6.3 — GA-tw crossover-rate / mutation-rate sweep.
+
+Thesis protocol: p_c in {0.8, 0.9, 1.0} x p_m in {0.01, 0.1, 0.3},
+POS + ISM, population 200; the combination (1.0, 0.3) performed best on
+the large instances and was adopted. Scaled sweep on queen8_8.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.genetic.engine import GAParameters
+from repro.genetic.ga_tw import ga_treewidth
+from repro.instances.registry import graph_instance
+
+from workloads import GA_ITERATIONS, GA_POPULATION, Row, print_table
+
+INSTANCE = "queen8_8"
+RUNS = 3
+CROSSOVER_RATES = (0.8, 0.9, 1.0)
+MUTATION_RATES = (0.01, 0.1, 0.3)
+
+
+def run_combo(p_c: float, p_m: float) -> list[int]:
+    graph = graph_instance(INSTANCE)
+    parameters = GAParameters(
+        population_size=GA_POPULATION,
+        crossover_rate=p_c,
+        mutation_rate=p_m,
+        group_size=2,
+        max_iterations=GA_ITERATIONS,
+    )
+    return [
+        ga_treewidth(
+            graph, parameters=parameters, seed=run, seed_heuristics=False
+        ).best_fitness
+        for run in range(RUNS)
+    ]
+
+
+def run_table() -> list[Row]:
+    rows = []
+    for p_c in CROSSOVER_RATES:
+        for p_m in MUTATION_RATES:
+            widths = run_combo(p_c, p_m)
+            rows.append(
+                Row(
+                    INSTANCE,
+                    {
+                        "p_c": p_c,
+                        "p_m": p_m,
+                        "avg": round(statistics.mean(widths), 1),
+                        "min": min(widths),
+                        "max": max(widths),
+                    },
+                )
+            )
+    rows.sort(key=lambda r: r.columns["avg"])
+    return rows
+
+
+def test_table_6_3(capsys):
+    rows = run_table()
+    with capsys.disabled():
+        print_table(
+            "Table 6.3 — crossover/mutation rate sweep (queen8_8)",
+            rows,
+            note="thesis adopted p_c = 1.0, p_m = 0.3",
+        )
+    averages = {
+        (row.columns["p_c"], row.columns["p_m"]): row.columns["avg"]
+        for row in rows
+    }
+    best = min(averages.values())
+    # the adopted combination is competitive (within a bag of the best)
+    assert averages[(1.0, 0.3)] <= best + 1.5
+    # mutation helps: the best p_m=0.3 combo beats the worst p_m=0.01 one
+    high_mutation = min(averages[(c, 0.3)] for c in CROSSOVER_RATES)
+    low_mutation = max(averages[(c, 0.01)] for c in CROSSOVER_RATES)
+    assert high_mutation <= low_mutation
+
+
+def test_benchmark_ga_tw_adopted_rates(benchmark):
+    graph = graph_instance(INSTANCE)
+    parameters = GAParameters(
+        population_size=GA_POPULATION, max_iterations=10
+    )
+    benchmark.pedantic(
+        lambda: ga_treewidth(graph, parameters=parameters, seed=0),
+        iterations=1,
+        rounds=1,
+    )

@@ -1,0 +1,95 @@
+"""Table 6.6 — GA-tw final results vs best-known upper bounds.
+
+Thesis: GA-tw (n = 2000, 2000 iterations, POS + ISM, p_c = 1.0,
+p_m = 0.3, s = 3) improved the best known upper bound on 22 of 62 DIMACS
+graphs and matched it on 31. Scaled run: the tuned configuration with a
+small budget, compared against (a) the thesis's reported ub for the
+exactly-generated instances and (b) the min-fill upper bound, which is
+the classical best-known-cheap bound. The reproduced claim: GA-tw
+matches or improves min-fill on every instance.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.upper import upper_bound_ordering
+from repro.genetic.engine import GAParameters
+from repro.genetic.ga_tw import ga_treewidth
+from repro.instances.registry import graph_instance
+
+from workloads import GA_ITERATIONS, GA_POPULATION, Row, print_table
+
+#: Table 6.6 "min" column for the exactly-generated instances.
+THESIS_GA_MIN = {
+    "queen5_5": 18,
+    "queen6_6": 26,
+    "queen7_7": 35,
+    "queen8_8": 45,
+    "myciel3": 5,
+    "myciel4": 10,
+    "myciel5": 19,
+    "myciel6": 35,
+}
+
+INSTANCES = list(THESIS_GA_MIN)
+RUNS = 3
+
+TUNED = GAParameters(
+    population_size=GA_POPULATION,
+    crossover_rate=1.0,
+    mutation_rate=0.3,
+    group_size=3,
+    max_iterations=GA_ITERATIONS,
+    crossover="POS",
+    mutation="ISM",
+)
+
+
+def run_table() -> list[Row]:
+    rows = []
+    for name in INSTANCES:
+        graph = graph_instance(name)
+        min_fill, _ = upper_bound_ordering(graph, "min-fill")
+        widths = [
+            ga_treewidth(graph, parameters=TUNED, seed=run).best_fitness
+            for run in range(RUNS)
+        ]
+        rows.append(
+            Row(
+                name,
+                {
+                    "V": graph.num_vertices(),
+                    "E": graph.num_edges(),
+                    "min_fill_ub": min_fill,
+                    "ga_min": min(widths),
+                    "ga_max": max(widths),
+                    "thesis_ga_min": THESIS_GA_MIN[name],
+                },
+            )
+        )
+    return rows
+
+
+def test_table_6_6(capsys):
+    rows = run_table()
+    with capsys.disabled():
+        print_table(
+            "Table 6.6 — GA-tw final results",
+            rows,
+            note="claim: GA-tw <= min-fill everywhere; thesis_ga_min is "
+            "the thesis's best of 10 one-hour runs",
+        )
+    for row in rows:
+        assert row.columns["ga_min"] <= row.columns["min_fill_ub"]
+        # a budgeted run cannot beat the thesis's hour-long best by much,
+        # nor should it be wildly worse on these small instances
+        assert row.columns["ga_min"] >= row.columns["thesis_ga_min"] - 1
+        assert row.columns["ga_min"] <= row.columns["thesis_ga_min"] + 6
+
+
+def test_benchmark_ga_tw_tuned_myciel5(benchmark):
+    graph = graph_instance("myciel5")
+    benchmark.pedantic(
+        lambda: ga_treewidth(graph, parameters=TUNED, seed=0),
+        iterations=1,
+        rounds=1,
+    )

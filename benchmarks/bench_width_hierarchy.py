@@ -1,0 +1,71 @@
+"""Extra table — the chapter-2 width hierarchy measured.
+
+The thesis's chapter 2 sets up fhw <= ghw <= hw <= tw + 1 (fractional,
+generalized, plain hypertree width, treewidth); this bench measures all
+four on the generated benchmark families and asserts the chain, plus the
+known strictness points (cliques separate fhw from ghw; every family
+here separates hw from tw + 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.api import generalized_hypertree_width, treewidth
+from repro.decompositions.hypertree import hypertree_width
+from repro.instances.registry import hypergraph_instance
+from repro.setcover.fractional import ordering_fractional_width
+
+from workloads import Row, print_table
+
+INSTANCES = ["adder_4", "bridge_4", "clique_5", "clique_7", "grid2d_3"]
+
+
+def run_table() -> list[Row]:
+    rows = []
+    for name in INSTANCES:
+        hypergraph = hypergraph_instance(name)
+        ghw_result = generalized_hypertree_width(hypergraph)
+        fractional = ordering_fractional_width(
+            hypergraph, ghw_result.ordering
+        )
+        hw, _decomposition = hypertree_width(hypergraph)
+        tw = treewidth(hypergraph).value
+        rows.append(
+            Row(
+                name,
+                {
+                    "fhw<=": round(fractional, 2),
+                    "ghw": ghw_result.value,
+                    "hw": hw,
+                    "tw+1": tw + 1,
+                },
+            )
+        )
+    return rows
+
+
+def test_width_hierarchy(capsys):
+    rows = run_table()
+    with capsys.disabled():
+        print_table(
+            "Width hierarchy — fhw <= ghw <= hw <= tw + 1",
+            rows,
+            note="cliques separate fhw from ghw (n/2 vs ceil(n/2))",
+        )
+    for row in rows:
+        fractional = row.columns["fhw<="]
+        ghw = row.columns["ghw"]
+        hw = row.columns["hw"]
+        tw1 = row.columns["tw+1"]
+        assert fractional <= ghw + 1e-9 <= hw + 1e-9 <= tw1 + 1e-9
+    by_name = {row.instance: row.columns for row in rows}
+    # the odd cliques witness the fractional integrality gap
+    assert by_name["clique_5"]["fhw<="] < by_name["clique_5"]["ghw"]
+    assert by_name["clique_7"]["fhw<="] < by_name["clique_7"]["ghw"]
+
+
+def test_benchmark_hypertree_width_grid(benchmark):
+    hypergraph = hypergraph_instance("grid2d_3")
+    k, _decomposition = benchmark.pedantic(
+        lambda: hypertree_width(hypergraph), iterations=1, rounds=1
+    )
+    assert k == 2

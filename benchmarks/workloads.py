@@ -1,0 +1,66 @@
+"""Shared workloads and table-printing helpers for the bench suite.
+
+Every thesis table gets one ``bench_table_*.py`` file. Each file does two
+things:
+
+* runs the (scaled-down) experiment and prints a table whose rows mirror
+  the thesis table's columns, with the thesis's reported value alongside
+  our measured one — this is the reproduction artifact recorded in
+  EXPERIMENTS.md;
+* registers one representative call with pytest-benchmark so
+  ``pytest benchmarks/ --benchmark-only`` also yields timing data.
+
+Scaling: the thesis ran 1-3 hours per instance on a 2005 Pentium 4 with
+a C++ implementation; this is pure Python with a seconds-per-instance
+budget. Instance sizes and GA budgets are scaled accordingly; the
+comparisons of interest (who wins, optimality certificates, operator
+rankings) are preserved. See DESIGN.md for the substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: GA budget used across the chapter-6/7 benches (thesis: n = 2000,
+#: 2000 iterations = 4M evaluations; here: ~6k evaluations).
+GA_POPULATION = 30
+GA_ITERATIONS = 40
+
+#: Search budgets for the exact algorithms (thesis: 1 h wall clock).
+SEARCH_NODE_LIMIT = 20_000
+SEARCH_TIME_LIMIT = 20.0
+
+
+@dataclass
+class Row:
+    """One printable table row: paper value(s) vs measured value(s)."""
+
+    instance: str
+    columns: dict[str, Any]
+
+
+def print_table(title: str, rows: list[Row], note: str = "") -> None:
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    headers = ["instance"] + list(rows[0].columns)
+    widths = [
+        max(len(str(h)), *(len(str(getattr(r, "instance") if h == "instance" else r.columns.get(h, ""))) for r in rows))
+        for h in headers
+    ]
+    print(f"\n== {title} ==")
+    if note:
+        print(f"   {note}")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        cells = [row.instance] + [row.columns[h] for h in headers[1:]]
+        print("  ".join(str(c).ljust(w) for c, w in zip(cells, widths)))
+
+
+def fmt_result(result) -> str:
+    """Format a SearchResult the way the thesis tables do: the value if
+    certified, otherwise 'lb*' (the anytime lower bound)."""
+    if result.optimal:
+        return str(result.value)
+    return f"{result.lower_bound}*[{result.upper_bound}]"

@@ -1,0 +1,74 @@
+"""Bayesian networks: what the Section 4.5 GA was really for.
+
+Exact inference in a Bayesian network runs on a junction tree — a tree
+decomposition of the network's *moral graph* — and costs the sum of the
+clique table sizes. This example builds three classic network shapes,
+moralises them, and compares junction trees found by (a) the naive
+variable order, (b) min-fill, and (c) the weighted GA that descends from
+Larrañaga et al.'s triangulation GA (the thesis's Section 4.5 lineage),
+showing how the weighted objective dodges large-state variables where
+pure width cannot.
+
+Run with::
+
+    python examples/bayesian_inference_cost.py
+"""
+
+from __future__ import annotations
+
+from repro.bayes.network import (
+    BayesianNetwork,
+    junction_tree,
+    naive_bayes_network,
+    sprinkler_network,
+)
+from repro.bounds.upper import min_fill_ordering
+
+
+def diagnosis_network() -> BayesianNetwork:
+    """A small two-layer diagnosis network with one huge nuisance node."""
+    network = BayesianNetwork()
+    network.add_variable("disease", 6)
+    network.add_variable("exposure", 40)  # many-valued history variable
+    for i in range(4):
+        network.add_variable(f"symptom{i}", 3)
+        network.add_edge("disease", f"symptom{i}")
+    network.add_edge("exposure", "disease")
+    network.add_edge("exposure", "symptom0")
+    return network
+
+
+def report(name: str, network: BayesianNetwork) -> None:
+    moral = network.moral_graph()
+    naive = junction_tree(network, ordering=sorted(network.variables(), key=repr))
+    min_fill = junction_tree(
+        network, ordering=min_fill_ordering(moral, None)
+    )
+    weighted = junction_tree(network, seed=0)
+    print(f"\n{name}: {moral.num_vertices()} variables, "
+          f"{moral.num_edges()} moral edges")
+    for label, jt in (
+        ("naive order", naive),
+        ("min-fill", min_fill),
+        ("weighted GA", weighted),
+    ):
+        print(
+            f"  {label:>12}: width {jt.width()}, "
+            f"total table size {jt.total_table_size:>7} "
+            f"(log2 = {jt.log2_cost:.2f})"
+        )
+    assert weighted.total_table_size <= naive.total_table_size
+
+
+def main() -> None:
+    report("sprinkler", sprinkler_network())
+    report("naive Bayes (8 features)", naive_bayes_network(8))
+    report("diagnosis with heavy nuisance node", diagnosis_network())
+    print(
+        "\nWidth alone treats all bags equally; the weighted objective "
+        "keeps the 40-state variable out of large cliques."
+    )
+
+
+if __name__ == "__main__":
+    main()

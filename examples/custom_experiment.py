@@ -1,0 +1,54 @@
+"""Stage your own thesis-style table with the experiment runner.
+
+The thesis's evaluation chapters are all the same shape — instances down
+the rows, algorithms across the columns. ``repro.experiments`` makes
+that a three-line affair; this example stages a small head-to-head of
+the exact A* against three heuristics on treewidth, and of BB-ghw
+against the genetic algorithm on ghw, printing ready-to-paste tables.
+
+Run with::
+
+    python examples/custom_experiment.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.genetic.engine import GAParameters
+
+
+def main() -> None:
+    tw_spec = ExperimentSpec(
+        instances=["grid4", "myciel3", "myciel4", "queen5_5"],
+        measure="tw",
+        algorithms=["astar", "min-fill", "ga", "sa"],
+        time_limit=15.0,
+        ga_parameters=GAParameters(population_size=25, max_iterations=25),
+    )
+    tw_table = run_experiment(tw_spec)
+    print("treewidth — exact vs heuristics")
+    print(tw_table.to_text())
+
+    ghw_spec = ExperimentSpec(
+        instances=["adder_6", "bridge_4", "clique_6", "grid2d_3"],
+        measure="ghw",
+        algorithms=["bb", "ga", "tabu"],
+        time_limit=15.0,
+        ga_parameters=GAParameters(population_size=25, max_iterations=25),
+    )
+    ghw_table = run_experiment(ghw_spec)
+    print("\ngeneralized hypertree width — exact vs heuristics")
+    print(ghw_table.to_text())
+
+    # results are plain data: post-process freely
+    certified = [
+        value for value in ghw_table.column("bb") if "*" not in str(value)
+    ]
+    print(
+        f"\nBB-ghw certified {len(certified)} of "
+        f"{len(ghw_table.rows)} instances within the budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Map colouring end to end (the thesis's Example 1).
+
+Models the 3-colouring of Australia's states and territories as a CSP,
+inspects its constraint structure, decomposes it three different ways
+(exact A*, branch and bound, and the min-fill heuristic) and solves the
+CSP from each decomposition — demonstrating that any valid decomposition
+yields a correct solver, with width controlling the work per node.
+
+Run with::
+
+    python examples/map_coloring.py
+"""
+
+from __future__ import annotations
+
+from repro.core.api import decompose_graph, treewidth
+from repro.csp.backtracking import count_solutions
+from repro.csp.builders import australia_map_coloring
+from repro.csp.solve import solve_with_tree_decomposition
+
+
+def main() -> None:
+    csp = australia_map_coloring()
+    print("variables:", ", ".join(map(str, csp.variables)))
+    print("constraints:", len(csp.constraints), "binary inequalities")
+
+    hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+    primal = hypergraph.primal_graph()
+    print(
+        f"constraint graph: {primal.num_vertices()} vertices, "
+        f"{primal.num_edges()} edges"
+    )
+
+    # The mainland constraint graph is a chain of triangles through SA:
+    # its treewidth is 2 (bags of three regions suffice).
+    result = treewidth(primal, algorithm="astar")
+    print(f"treewidth of the constraint graph: {result.value}")
+
+    for algorithm in ("astar", "bb", "min-fill"):
+        decomposition = decompose_graph(primal, algorithm=algorithm)
+        solution = solve_with_tree_decomposition(csp, decomposition)
+        assert solution is not None and csp.is_solution(solution)
+        colours = ", ".join(
+            f"{region}={solution[region]}"
+            for region in ("WA", "NT", "SA", "Q", "NSW", "V", "TAS")
+        )
+        print(
+            f"[{algorithm:>8}] width {decomposition.width()} "
+            f"decomposition -> {colours}"
+        )
+
+    total = count_solutions(csp)
+    print(f"\ntotal 3-colourings (by exhaustive search): {total}")
+    print("(6 proper colourings of the mainland x 3 free choices for TAS)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Structure-aware SAT solving (the thesis's Example 2, scaled up).
+
+CNF formulas become CSPs with one constraint per clause; the clause
+hypergraph's generalized hypertree width measures how tree-like the
+formula is. This example builds a chain-structured CNF family (bounded
+ghw regardless of size), certifies its width, and solves formula sizes
+a naive enumeration over 2^n assignments could never touch — while a
+deliberately tangled formula of the same size shows the width climbing.
+
+Run with::
+
+    python examples/sat_structure.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.api import decompose, ghw_bounds
+from repro.csp.builders import sat_csp
+from repro.csp.solve import solve_with_ghd
+
+
+def chain_formula(blocks: int) -> list[list[int]]:
+    """A satisfiable chain of overlapping clauses: block i couples
+    variables 2i+1, 2i+2, 2i+3 — pathwidth-style structure."""
+    clauses = []
+    for i in range(blocks):
+        a, b, c = 2 * i + 1, 2 * i + 2, 2 * i + 3
+        clauses.append([a, b, c])
+        clauses.append([-a, -b, c])
+        clauses.append([a, -c, b])
+    return clauses
+
+
+def tangled_formula(variables: int, clauses: int, seed: int) -> list[list[int]]:
+    """Random 3-CNF — no structure for the decomposition to exploit."""
+    rng = random.Random(seed)
+    result = []
+    for _ in range(clauses):
+        chosen = rng.sample(range(1, variables + 1), 3)
+        result.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return result
+
+
+def main() -> None:
+    print("chain-structured CNF: width stays constant as the formula grows")
+    for blocks in (5, 15, 30):
+        csp = sat_csp(chain_formula(blocks))
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        lower, upper = ghw_bounds(hypergraph)
+        ghd = decompose(hypergraph, algorithm="min-fill", cover="greedy")
+        solution = solve_with_ghd(csp, ghd)
+        status = "SAT" if solution is not None else "UNSAT"
+        if solution is not None:
+            assert csp.is_solution(solution)
+        print(
+            f"  {blocks:3d} blocks ({len(csp.domains):3d} vars, "
+            f"{len(csp.constraints):3d} clauses): ghw in [{lower}, {upper}], "
+            f"decomposition width {ghd.width()}, {status}"
+        )
+
+    print("\ntangled random 3-CNF of similar size: the width climbs")
+    for variables, clauses in ((12, 20), (16, 30), (20, 40)):
+        csp = sat_csp(tangled_formula(variables, clauses, seed=1))
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        lower, upper = ghw_bounds(hypergraph)
+        print(
+            f"  {variables} vars / {clauses} clauses: "
+            f"ghw in [{lower}, {upper}]"
+        )
+
+    print(
+        "\nbounded width = polynomial-time SAT for the family; "
+        "unbounded width = no such guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — tree decompositions and generalized hypertree decompositions.
+
+A production reproduction of Schafhauser's "New Heuristic Methods for
+Tree Decompositions and Generalized Hypertree Decompositions" (TU Wien,
+2006; the constructive companion of the PODS-2007 line on generalized
+hypertree width). The package provides:
+
+* graph/hypergraph substrates with vertex elimination,
+* tree decompositions and generalized hypertree decompositions (GHDs),
+* the chapter-3 theory (leaf normal form; elimination orderings as a
+  complete ghw search space),
+* exact algorithms: A*-tw, BB-tw, BB-ghw, A*-ghw,
+* heuristics: GA-tw, GA-ghw, SAIGA-ghw, ordering heuristics, treewidth
+  and ghw lower bounds,
+* a CSP layer that actually *solves* constraint problems from the
+  decompositions (Acyclic Solving / Join-Tree Clustering),
+* benchmark instance generators for the thesis's tables.
+
+Quickstart::
+
+    from repro import Hypergraph, decompose, generalized_hypertree_width
+
+    h = Hypergraph({"C1": {"x1", "x2", "x3"},
+                    "C2": {"x1", "x5", "x6"},
+                    "C3": {"x3", "x4", "x5"}})
+    print(generalized_hypertree_width(h).value)   # 2
+    ghd = decompose(h)                            # complete, validated GHD
+"""
+
+from repro.core.api import (
+    decompose,
+    decompose_graph,
+    generalized_hypertree_width,
+    ghw_bounds,
+    ghw_upper_bound,
+    is_ghw_at_most,
+    is_treewidth_at_most,
+    treewidth,
+    treewidth_bounds,
+    treewidth_upper_bound,
+    validate_hypergraph,
+)
+from repro.decompositions.elimination import (
+    ordering_ghw,
+    ordering_to_ghd,
+    ordering_to_tree_decomposition,
+    ordering_width,
+)
+from repro.decompositions.ghd import (
+    GeneralizedHypertreeDecomposition,
+    make_complete,
+)
+from repro.decompositions.tree_decomposition import (
+    DecompositionError,
+    TreeDecomposition,
+)
+from repro.hypergraphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.search.common import SearchResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DecompositionError",
+    "GeneralizedHypertreeDecomposition",
+    "Graph",
+    "Hypergraph",
+    "SearchResult",
+    "TreeDecomposition",
+    "decompose",
+    "decompose_graph",
+    "generalized_hypertree_width",
+    "ghw_bounds",
+    "ghw_upper_bound",
+    "is_ghw_at_most",
+    "is_treewidth_at_most",
+    "make_complete",
+    "ordering_ghw",
+    "ordering_to_ghd",
+    "ordering_to_tree_decomposition",
+    "ordering_width",
+    "treewidth",
+    "treewidth_bounds",
+    "treewidth_upper_bound",
+    "validate_hypergraph",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Bayesian networks: moral graphs and junction trees (Section 4.5)."""
+
+from repro.bayes.network import (
+    BayesianNetwork,
+    CycleError,
+    JunctionTree,
+    chain_network,
+    junction_tree,
+    naive_bayes_network,
+    sprinkler_network,
+)
+
+__all__ = [
+    "BayesianNetwork",
+    "CycleError",
+    "JunctionTree",
+    "chain_network",
+    "junction_tree",
+    "naive_bayes_network",
+    "sprinkler_network",
+]

@@ -1,0 +1,34 @@
+"""Upper and lower bound heuristics for treewidth and ghw."""
+
+from repro.bounds.ghw_lower import tw_ksc_width, tw_ksc_width_remaining
+from repro.bounds.lower import (
+    degeneracy,
+    gamma_r,
+    minor_gamma_r,
+    minor_min_width,
+    treewidth_lower_bound,
+)
+from repro.bounds.upper import (
+    max_cardinality_ordering,
+    min_degree_ordering,
+    min_fill_ordering,
+    min_width_ordering,
+    treewidth_upper_bound,
+    upper_bound_ordering,
+)
+
+__all__ = [
+    "degeneracy",
+    "gamma_r",
+    "max_cardinality_ordering",
+    "min_degree_ordering",
+    "min_fill_ordering",
+    "min_width_ordering",
+    "minor_gamma_r",
+    "minor_min_width",
+    "treewidth_lower_bound",
+    "treewidth_upper_bound",
+    "tw_ksc_width",
+    "tw_ksc_width_remaining",
+    "upper_bound_ordering",
+]

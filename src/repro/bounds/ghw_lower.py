@@ -1,0 +1,97 @@
+"""The tw-ksc-width lower bound for generalized hypertree width (Fig. 8.1).
+
+Section 8.1 of the thesis combines two ingredients into a ghw lower bound:
+
+1. a treewidth lower bound ``t`` on the primal graph — every tree
+   decomposition (hence every GHD) of the hypergraph has a bag with at
+   least ``t + 1`` vertices, and
+2. a lower bound for the *k-set-cover* problem — a bound on how many
+   hyperedges are needed to cover *any* set of ``k = t + 1`` vertices.
+
+Chaining them: some GHD node has ``|chi(p)| >= t + 1``; its lambda-label
+covers ``chi(p)``; so ``|lambda(p)|`` is at least the k-set-cover lower
+bound, and therefore so is the GHD's width. This holds for *every* GHD,
+giving ``ghw(H) >= tw_ksc_width(H)``.
+
+Both ingredients are pluggable; the ablation bench compares the choices.
+The bound is also used on *remaining subinstances* during BB-ghw/A*-ghw:
+there the hyperedges must be restricted to the not-yet-eliminated
+vertices first (a bag of the remaining problem can only be covered by
+what the edges still offer inside it), which
+:func:`tw_ksc_width_remaining` handles.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.bounds.lower import treewidth_lower_bound
+from repro.hypergraphs.graph import Graph, Vertex
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.setcover.lower_bounds import k_set_cover_lower_bound
+
+
+def tw_ksc_width(
+    hypergraph: Hypergraph,
+    tw_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
+    rng: random.Random | None = None,
+    primal: Graph | None = None,
+) -> int:
+    """Algorithm tw-ksc-width: a lower bound on ``ghw(hypergraph)``.
+
+    Parameters
+    ----------
+    hypergraph:
+        The instance.
+    tw_methods:
+        Which treewidth lower bounds to combine (their max is used).
+    rng:
+        Random tie-breaking for the treewidth heuristics.
+    primal:
+        The primal graph, if the caller already has it (avoids a rebuild
+        in search inner loops).
+    """
+    if hypergraph.num_edges() == 0:
+        return 0
+    graph = primal if primal is not None else hypergraph.primal_graph()
+    tw_bound = treewidth_lower_bound(graph, methods=tw_methods, rng=rng)
+    k = tw_bound + 1
+    bound = k_set_cover_lower_bound(k, hypergraph.edges())
+    # Any hypergraph with at least one edge needs at least one lambda edge.
+    return max(1, bound)
+
+
+def tw_ksc_width_remaining(
+    hypergraph: Hypergraph,
+    remaining_graph: Graph,
+    remaining_vertices: Iterable[Vertex] | None = None,
+    tw_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
+    rng: random.Random | None = None,
+) -> int:
+    """tw-ksc-width of the instance left after a partial elimination.
+
+    ``remaining_graph`` is the (fill-in-containing) graph after the
+    elimination prefix; its treewidth lower-bounds the width still to be
+    paid. Hyperedges are restricted to the remaining vertices: a bag of
+    the remaining subproblem lies entirely inside them, so an edge can
+    contribute at most its restricted size to any cover.
+
+    Returns 0 for an empty remainder (nothing left to pay for).
+    """
+    vertices = (
+        set(remaining_vertices)
+        if remaining_vertices is not None
+        else remaining_graph.vertices()
+    )
+    if not vertices:
+        return 0
+    restricted = hypergraph.restrict(vertices)
+    if restricted.num_edges() == 0:
+        return 0
+    tw_bound = treewidth_lower_bound(
+        remaining_graph, methods=tw_methods, rng=rng
+    )
+    k = tw_bound + 1
+    bound = k_set_cover_lower_bound(k, restricted.edges())
+    return max(1, bound)

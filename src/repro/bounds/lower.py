@@ -1,0 +1,145 @@
+"""Treewidth lower-bound heuristics (Section 4.4.2).
+
+All bounds here exploit the facts that (a) the treewidth of a graph is at
+least the treewidth of any of its *minors* and (b) simple degree-based
+parameters bound treewidth from below:
+
+* **MMD / degeneracy**: repeatedly delete a minimum-degree vertex; the
+  largest minimum degree seen is a lower bound.
+* **minor-min-width** (Figure 4.7, QuickBB; independently MMD+(least-c)):
+  like MMD but *contract* the minimum-degree vertex into its
+  smallest-degree neighbour, strengthening the bound via minors.
+* **gamma_R**: Ramachandramurthi's parameter — ``n - 1`` for a complete
+  graph, otherwise the minimum over non-adjacent pairs ``u, v`` of
+  ``max(degree(u), degree(v))``; always a treewidth lower bound.
+* **minor-gamma_R** (Figure 4.8): maximise gamma_R over a sequence of
+  minors obtained by contracting low-degree vertices.
+
+``treewidth_lower_bound`` returns the max of the selected heuristics,
+matching the thesis's choice for A*-tw ("the maximum of the values
+returned by the minor-min-width heuristic and the minor-gamma_R
+heuristic").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hypergraphs.graph import Graph, Vertex
+
+
+def _min_degree_vertex(
+    graph: Graph, rng: random.Random | None
+) -> Vertex:
+    lowest = min(graph.degree(v) for v in graph)
+    candidates = [v for v in graph if graph.degree(v) == lowest]
+    if rng is None:
+        return min(candidates, key=repr)
+    return rng.choice(candidates)
+
+
+def _contract_into_min_neighbour(
+    graph: Graph, vertex: Vertex, rng: random.Random | None
+) -> None:
+    """Contract ``vertex``'s edge to its minimum-degree neighbour.
+
+    Isolated vertices are simply removed (there is no edge to contract;
+    removing them never increases any degree-based bound).
+    """
+    neighbours = graph.neighbours(vertex)
+    if not neighbours:
+        graph.remove_vertex(vertex)
+        return
+    lowest = min(graph.degree(u) for u in neighbours)
+    candidates = [u for u in neighbours if graph.degree(u) == lowest]
+    if rng is None:
+        partner = min(candidates, key=repr)
+    else:
+        partner = rng.choice(candidates)
+    graph.contract(partner, vertex)
+
+
+def degeneracy(graph: Graph, rng: random.Random | None = None) -> int:
+    """MMD: the degeneracy of the graph, a treewidth lower bound."""
+    working = graph.copy()
+    bound = 0
+    while working.num_vertices() > 0:
+        vertex = _min_degree_vertex(working, rng)
+        bound = max(bound, working.degree(vertex))
+        working.remove_vertex(vertex)
+    return bound
+
+
+def minor_min_width(graph: Graph, rng: random.Random | None = None) -> int:
+    """Figure 4.7: the minor-min-width treewidth lower bound."""
+    working = graph.copy()
+    bound = 0
+    while working.num_vertices() > 0:
+        vertex = _min_degree_vertex(working, rng)
+        bound = max(bound, working.degree(vertex))
+        _contract_into_min_neighbour(working, vertex, rng)
+    return bound
+
+
+def gamma_r(graph: Graph) -> int:
+    """Ramachandramurthi's gamma parameter of ``graph``.
+
+    ``n - 1`` if the graph is complete, else the minimum over vertices
+    ``v`` that are non-adjacent to at least one other vertex of the
+    degree of ``v``'s cheapest non-adjacent "partner" — equivalently,
+    min over non-adjacent pairs of the larger degree.
+    """
+    vertices = sorted(graph.vertices(), key=lambda v: (graph.degree(v), repr(v)))
+    n = len(vertices)
+    if n == 0:
+        return 0
+    # First vertex (in ascending degree order) not adjacent to all its
+    # predecessors: gamma equals its degree (Figure 4.8 step b/c).
+    for index, vertex in enumerate(vertices):
+        predecessors = vertices[:index]
+        if any(not graph.has_edge(vertex, other) for other in predecessors):
+            return graph.degree(vertex)
+    return n - 1
+
+
+def minor_gamma_r(graph: Graph, rng: random.Random | None = None) -> int:
+    """Figure 4.8: maximise gamma_R over minimum-degree contractions."""
+    working = graph.copy()
+    bound = 0
+    while working.num_vertices() > 0:
+        bound = max(bound, gamma_r(working))
+        if working.num_vertices() == 1:
+            break
+        vertex = _min_degree_vertex(working, rng)
+        _contract_into_min_neighbour(working, vertex, rng)
+    return bound
+
+
+_METHODS = {
+    "degeneracy": degeneracy,
+    "minor-min-width": minor_min_width,
+    "minor-gamma-r": minor_gamma_r,
+}
+
+
+def lower_bound_names() -> list[str]:
+    return list(_METHODS)
+
+
+def treewidth_lower_bound(
+    graph: Graph,
+    methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
+    rng: random.Random | None = None,
+) -> int:
+    """Max of the selected heuristics (the thesis's A*-tw combination)."""
+    if graph.num_vertices() == 0:
+        return 0
+    best = 0
+    for name in methods:
+        method = _METHODS.get(name)
+        if method is None:
+            raise ValueError(
+                f"unknown lower bound {name!r}; choose from {lower_bound_names()}"
+            )
+        best = max(best, method(graph, rng))
+    return best

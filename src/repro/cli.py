@@ -1,0 +1,208 @@
+"""Command-line interface: ``repro-decompose``.
+
+Examples
+--------
+Exact treewidth of a generated instance::
+
+    repro-decompose --instance queen5_5 --measure tw --algorithm astar
+
+ghw upper bound of a hypergraph file with the genetic algorithm::
+
+    repro-decompose --file instance.hg --measure ghw --algorithm ga
+
+The tool prints the result line the thesis tables use: instance, |V|,
+|E| or |H|, lb, ub, value, nodes, time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.api import (
+    decompose,
+    decompose_graph,
+    generalized_hypertree_width,
+    ghw_upper_bound,
+    treewidth,
+    treewidth_upper_bound,
+)
+from repro.decompositions.hypertree import hypertree_width
+from repro.decompositions.io import write_ghd, write_tree_decomposition
+from repro.hypergraphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.io import read_dimacs, read_hypergraph
+from repro.instances.registry import instance as registry_instance
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-decompose",
+        description=(
+            "Tree and generalized hypertree decomposition widths "
+            "(exact and heuristic)."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--instance",
+        help="named generated instance (queen5_5, myciel4, adder_10, ...)",
+    )
+    source.add_argument(
+        "--file", help="path to a DIMACS .col graph or a hypergraph edge list"
+    )
+    parser.add_argument(
+        "--measure",
+        choices=("tw", "ghw", "hw"),
+        default="tw",
+        help="treewidth, generalized hypertree width or hypertree width",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="astar",
+        help=(
+            "astar | bb (exact); ga | saiga | sa | tabu "
+            "(heuristic upper bound)"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "write the decomposition here (.td format for tw, the ghd "
+            "format for ghw/hw)"
+        ),
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, help="seconds"
+    )
+    parser.add_argument(
+        "--node-limit", type=int, default=None, help="search node budget"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load(args: argparse.Namespace) -> Graph | Hypergraph:
+    if args.instance:
+        return registry_instance(args.instance)
+    text = open(args.file).readline()
+    if text.startswith(("c", "p")):
+        return read_dimacs(args.file)
+    return read_hypergraph(args.file)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        loaded = _load(args)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    label = args.instance or args.file
+    if isinstance(loaded, Hypergraph):
+        size = f"|V|={loaded.num_vertices()} |H|={loaded.num_edges()}"
+    else:
+        size = f"|V|={loaded.num_vertices()} |E|={loaded.num_edges()}"
+
+    if args.measure == "tw":
+        if args.algorithm in ("astar", "bb"):
+            result = treewidth(
+                loaded,
+                algorithm=args.algorithm,
+                time_limit=args.time_limit,
+                node_limit=args.node_limit,
+                seed=args.seed,
+            )
+            print(f"{label}  {size}  {result.summary()}")
+        elif args.algorithm in ("sa", "tabu"):
+            from repro.localsearch import sa_treewidth, tabu_treewidth
+
+            run = sa_treewidth if args.algorithm == "sa" else tabu_treewidth
+            bound = run(
+                loaded, seed=args.seed, time_limit=args.time_limit
+            ).best_fitness
+            print(f"{label}  {size}  tw <= {bound} ({args.algorithm})")
+        else:
+            bound = treewidth_upper_bound(
+                loaded,
+                method=args.algorithm,
+                seed=args.seed,
+                time_limit=args.time_limit,
+            )
+            print(f"{label}  {size}  tw <= {bound} ({args.algorithm})")
+        if args.output:
+            graph = (
+                loaded.primal_graph()
+                if isinstance(loaded, Hypergraph)
+                else loaded
+            )
+            decomposition = decompose_graph(
+                graph,
+                algorithm=args.algorithm
+                if args.algorithm in ("astar", "bb", "ga", "min-fill")
+                else "min-fill",
+                time_limit=args.time_limit,
+                node_limit=args.node_limit,
+                seed=args.seed,
+            )
+            write_tree_decomposition(decomposition, args.output)
+            print(f"wrote {args.output}")
+    elif args.measure == "hw":
+        if not isinstance(loaded, Hypergraph):
+            print("error: hw needs a hypergraph instance", file=sys.stderr)
+            return 2
+        k, decomposition = hypertree_width(loaded)
+        print(f"{label}  {size}  hw = {k}")
+        if args.output:
+            write_ghd(decomposition.ghd, args.output)
+            print(f"wrote {args.output}")
+    else:
+        if not isinstance(loaded, Hypergraph):
+            print(
+                "error: ghw needs a hypergraph instance", file=sys.stderr
+            )
+            return 2
+        if args.algorithm in ("astar", "bb"):
+            result = generalized_hypertree_width(
+                loaded,
+                algorithm=args.algorithm,
+                time_limit=args.time_limit,
+                node_limit=args.node_limit,
+                seed=args.seed,
+            )
+            print(f"{label}  {size}  {result.summary()}")
+        elif args.algorithm in ("sa", "tabu"):
+            from repro.localsearch import sa_ghw, tabu_ghw
+
+            run = sa_ghw if args.algorithm == "sa" else tabu_ghw
+            bound = run(
+                loaded, seed=args.seed, time_limit=args.time_limit
+            ).best_fitness
+            print(f"{label}  {size}  ghw <= {bound} ({args.algorithm})")
+        else:
+            bound = ghw_upper_bound(
+                loaded,
+                method=args.algorithm,
+                seed=args.seed,
+                time_limit=args.time_limit,
+            )
+            print(f"{label}  {size}  ghw <= {bound} ({args.algorithm})")
+        if args.output:
+            ghd = decompose(
+                loaded,
+                algorithm=args.algorithm
+                if args.algorithm in ("astar", "bb", "ga", "saiga")
+                else "bb",
+                time_limit=args.time_limit,
+                node_limit=args.node_limit,
+                seed=args.seed,
+            )
+            write_ghd(ghd, args.output)
+            print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""High-level public API."""
+
+from repro.core.api import (
+    decompose,
+    decompose_graph,
+    generalized_hypertree_width,
+    ghw_bounds,
+    ghw_upper_bound,
+    is_ghw_at_most,
+    is_treewidth_at_most,
+    treewidth,
+    treewidth_bounds,
+    treewidth_upper_bound,
+    validate_hypergraph,
+)
+
+__all__ = [
+    "decompose",
+    "decompose_graph",
+    "generalized_hypertree_width",
+    "ghw_bounds",
+    "ghw_upper_bound",
+    "is_ghw_at_most",
+    "is_treewidth_at_most",
+    "treewidth",
+    "treewidth_bounds",
+    "treewidth_upper_bound",
+    "validate_hypergraph",
+]

@@ -1,0 +1,61 @@
+"""Constraint satisfaction: problems, relations, acyclic + decomposition solving."""
+
+from repro.csp.adaptive_consistency import adaptive_consistency
+from repro.csp.enumerate import (
+    count_solutions_with_ghd,
+    enumerate_with_ghd,
+    enumerate_with_tree_decomposition,
+)
+from repro.csp.acyclic import (
+    NotAcyclicError,
+    acyclic_solve,
+    gyo_join_tree,
+    is_acyclic,
+    solve_relation_tree,
+)
+from repro.csp.backtracking import (
+    backtracking_solve,
+    count_solutions,
+    iterate_solutions,
+)
+from repro.csp.builders import (
+    acyclic_chain_csp,
+    australia_map_coloring,
+    example_5_csp,
+    graph_coloring_csp,
+    n_queens_csp,
+    random_binary_csp,
+    sat_csp,
+)
+from repro.csp.problem import CSP, Constraint, make_csp
+from repro.csp.relations import Relation, join_all
+from repro.csp.solve import solve_with_ghd, solve_with_tree_decomposition
+
+__all__ = [
+    "CSP",
+    "adaptive_consistency",
+    "Constraint",
+    "NotAcyclicError",
+    "Relation",
+    "acyclic_chain_csp",
+    "acyclic_solve",
+    "australia_map_coloring",
+    "backtracking_solve",
+    "count_solutions",
+    "count_solutions_with_ghd",
+    "enumerate_with_ghd",
+    "enumerate_with_tree_decomposition",
+    "example_5_csp",
+    "graph_coloring_csp",
+    "gyo_join_tree",
+    "is_acyclic",
+    "iterate_solutions",
+    "join_all",
+    "make_csp",
+    "n_queens_csp",
+    "random_binary_csp",
+    "sat_csp",
+    "solve_relation_tree",
+    "solve_with_ghd",
+    "solve_with_tree_decomposition",
+]

@@ -1,0 +1,174 @@
+"""Acyclic CSPs: join trees, the GYO test and Acyclic Solving (Sec. 2.2.3).
+
+A CSP is *acyclic* when its constraint hypergraph has a join tree
+(Definitions 8-9): a tree over the constraints such that, for every
+variable, the constraints containing it form a connected subtree. Acyclic
+CSPs are solvable in polynomial time by Algorithm *Acyclic Solving*
+(Figure 2.4): a bottom-up semijoin sweep removes tuples with no partner,
+then a top-down sweep reads off one consistent assignment.
+
+The same machinery, run over arbitrary relation-labelled trees, is what
+solves *any* CSP from a tree decomposition or a complete GHD
+(Section 2.4) — :func:`solve_relation_tree` is that generic engine and
+:mod:`repro.csp.solve` feeds it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.csp.problem import CSP
+from repro.csp.relations import Relation, Value, VariableName
+from repro.hypergraphs.hypergraph import EdgeName, Hypergraph
+
+
+class NotAcyclicError(ValueError):
+    """Raised when a join tree is requested for a cyclic hypergraph."""
+
+
+def gyo_join_tree(hypergraph: Hypergraph) -> dict[EdgeName, EdgeName | None]:
+    """GYO reduction: a join tree as a parent map, or raise.
+
+    Repeatedly removes *ears*: an edge whose vertices, apart from those
+    private to it, all lie inside some other remaining edge. The witness
+    becomes the ear's parent. If ears run out before edges do, the
+    hypergraph is cyclic (:class:`NotAcyclicError`).
+
+    The returned map sends each edge name to its parent (``None`` for the
+    final root). Disconnected hypergraphs yield parents ``None`` for one
+    edge per component; callers stitch components together (bags sharing
+    no variables may be linked arbitrarily).
+    """
+    remaining: dict[EdgeName, frozenset] = dict(hypergraph.edges())
+    parent: dict[EdgeName, EdgeName | None] = {}
+    while len(remaining) > 1:
+        progressed = False
+        occurrences: dict = {}
+        for name, edge in remaining.items():
+            for vertex in edge:
+                occurrences[vertex] = occurrences.get(vertex, 0) + 1
+        for name in sorted(remaining, key=repr):
+            edge = remaining[name]
+            shared = {v for v in edge if occurrences[v] > 1}
+            witness = next(
+                (
+                    other
+                    for other in sorted(remaining, key=repr)
+                    if other != name and shared <= remaining[other]
+                ),
+                None,
+            )
+            if witness is not None:
+                parent[name] = witness
+                del remaining[name]
+                progressed = True
+                break
+        if not progressed:
+            raise NotAcyclicError(
+                "hypergraph is cyclic: GYO reduction got stuck with edges "
+                f"{sorted(map(repr, remaining))}"
+            )
+    for name in remaining:
+        parent[name] = None
+    return parent
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """``True`` iff the hypergraph is alpha-acyclic (has a join tree)."""
+    if hypergraph.num_edges() == 0:
+        return True
+    try:
+        gyo_join_tree(hypergraph)
+    except NotAcyclicError:
+        return False
+    return True
+
+
+def _children_map(
+    parent: Mapping[EdgeName, EdgeName | None],
+) -> tuple[list[EdgeName], dict[EdgeName, list[EdgeName]]]:
+    """Roots and children lists of a parent map."""
+    children: dict[EdgeName, list[EdgeName]] = {name: [] for name in parent}
+    roots: list[EdgeName] = []
+    for name, up in parent.items():
+        if up is None:
+            roots.append(name)
+        else:
+            children[up].append(name)
+    return roots, children
+
+
+def solve_relation_tree(
+    relations: dict[EdgeName, Relation],
+    parent: Mapping[EdgeName, EdgeName | None],
+) -> dict[VariableName, Value] | None:
+    """Acyclic Solving over an arbitrary relation-labelled forest.
+
+    Implements both phases of Figure 2.4. Multiple roots (a forest) are
+    fine: components share no variables when the parent map comes from a
+    valid decomposition, so they solve independently.
+
+    Returns one combined assignment, or ``None`` if any relation empties
+    during the bottom-up sweep.
+    """
+    roots, children = _children_map(parent)
+    if not roots and relations:
+        raise ValueError("parent map has a cycle (no root)")
+    working = dict(relations)
+
+    # Bottom-up: process nodes children-before-parents.
+    order: list[EdgeName] = []
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(children[node])
+    for node in reversed(order):
+        up = parent[node]
+        if up is None:
+            continue
+        working[up] = working[up].semijoin(working[node])
+        if working[up].is_empty():
+            return None
+    for root in roots:
+        if working[root].is_empty():
+            return None
+
+    # Top-down: extend a consistent assignment parents-before-children.
+    assignment: dict[VariableName, Value] = {}
+    for node in order:
+        relation = working[node].select(assignment)
+        if relation.is_empty():
+            # Cannot happen after a successful bottom-up sweep on a valid
+            # join tree; guards against malformed input.
+            return None
+        row = min(relation.tuples, key=repr)
+        assignment.update(zip(relation.schema, row))
+    return assignment
+
+
+def acyclic_solve(csp: CSP) -> dict[VariableName, Value] | None:
+    """Solve an acyclic CSP via its GYO join tree (Figure 2.4).
+
+    Variables not mentioned by any constraint get an arbitrary domain
+    value. Raises :class:`NotAcyclicError` for cyclic CSPs — decompose
+    those first (:mod:`repro.csp.solve`).
+    """
+    hypergraph = csp.constraint_hypergraph()
+    if csp.constraints:
+        parent = gyo_join_tree(hypergraph)
+        relations = {
+            constraint.name: constraint.relation
+            for constraint in csp.constraints
+        }
+        assignment = solve_relation_tree(relations, parent)
+        if assignment is None:
+            return None
+    else:
+        assignment = {}
+    for variable, domain in csp.domains.items():
+        if variable not in assignment:
+            if not domain:
+                return None
+            assignment[variable] = min(domain, key=repr)
+    return assignment

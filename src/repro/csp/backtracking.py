@@ -1,0 +1,85 @@
+"""A baseline backtracking CSP solver (ground truth for everything else).
+
+The decomposition-based solvers of :mod:`repro.csp.solve` are verified
+against this direct search in the test suite. It is deliberately simple —
+chronological backtracking with the minimum-remaining-values variable
+order and forward checking — because its role is correctness, not speed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.csp.problem import CSP, Constraint
+from repro.csp.relations import Value, VariableName
+
+
+def _consistent(
+    constraint: Constraint, assignment: dict[VariableName, Value]
+) -> bool:
+    """Check a constraint against a *partial* assignment.
+
+    Unassigned scope variables make the constraint satisfiable iff some
+    allowed tuple agrees with the assigned part.
+    """
+    scope = constraint.scope
+    assigned = [
+        (i, assignment[variable])
+        for i, variable in enumerate(scope)
+        if variable in assignment
+    ]
+    if len(assigned) < len(scope):
+        return any(
+            all(row[i] == value for i, value in assigned)
+            for row in constraint.relation.tuples
+        )
+    row = tuple(assignment[variable] for variable in scope)
+    return row in constraint.relation.tuples
+
+
+def iterate_solutions(csp: CSP) -> Iterator[dict[VariableName, Value]]:
+    """Yield every complete consistent assignment (Definition 6)."""
+    variables = list(csp.domains)
+    watching: dict[VariableName, list[Constraint]] = {
+        variable: [] for variable in variables
+    }
+    for constraint in csp.constraints:
+        for variable in constraint.scope:
+            watching[variable].append(constraint)
+
+    assignment: dict[VariableName, Value] = {}
+
+    def extend() -> Iterator[dict[VariableName, Value]]:
+        if len(assignment) == len(variables):
+            yield dict(assignment)
+            return
+        # MRV on the static domain sizes; simple but effective enough.
+        variable = min(
+            (v for v in variables if v not in assignment),
+            key=lambda v: (len(csp.domains[v]), repr(v)),
+        )
+        for value in sorted(csp.domains[variable], key=repr):
+            assignment[variable] = value
+            if all(
+                _consistent(constraint, assignment)
+                for constraint in watching[variable]
+            ):
+                yield from extend()
+            del assignment[variable]
+
+    yield from extend()
+
+
+def backtracking_solve(csp: CSP) -> dict[VariableName, Value] | None:
+    """First solution, or ``None``."""
+    return next(iterate_solutions(csp), None)
+
+
+def count_solutions(csp: CSP, limit: int | None = None) -> int:
+    """Number of solutions (optionally capped at ``limit``)."""
+    count = 0
+    for _solution in iterate_solutions(csp):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count

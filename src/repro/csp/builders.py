@@ -1,0 +1,196 @@
+"""Ready-made CSP instances (Examples 1, 2 and 5 of the thesis, plus
+generic workload builders used by tests, examples and benches)."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from itertools import product
+
+from repro.csp.problem import CSP, Constraint, make_csp
+from repro.csp.relations import Relation
+from repro.hypergraphs.graph import Graph
+
+
+def australia_map_coloring() -> CSP:
+    """Example 1: 3-colour the states and territories of Australia."""
+    colors = ("r", "g", "b")
+    regions = ("WA", "NT", "Q", "SA", "NSW", "V", "TAS")
+    borders = [
+        ("NT", "WA"),
+        ("SA", "WA"),
+        ("NT", "Q"),
+        ("NT", "SA"),
+        ("Q", "SA"),
+        ("NSW", "Q"),
+        ("NSW", "V"),
+        ("NSW", "SA"),
+        ("SA", "V"),
+    ]
+    distinct = [(a, b) for a in colors for b in colors if a != b]
+    constraints = [
+        Constraint.make(f"C{i + 1}", pair, distinct)
+        for i, pair in enumerate(borders)
+    ]
+    return make_csp({region: colors for region in regions}, constraints)
+
+
+def graph_coloring_csp(graph: Graph, colors: int) -> CSP:
+    """k-colouring of an arbitrary graph as a binary CSP."""
+    palette = tuple(range(colors))
+    distinct = [(a, b) for a in palette for b in palette if a != b]
+    constraints = []
+    for i, edge in enumerate(sorted(graph.edges(), key=repr)):
+        u, v = sorted(edge, key=repr)
+        constraints.append(Constraint.make(f"edge{i}", (u, v), distinct))
+    return make_csp(
+        {vertex: palette for vertex in graph.vertices()}, constraints
+    )
+
+
+def sat_csp(
+    clauses: Sequence[Sequence[int]], variables: int | None = None
+) -> CSP:
+    """Example 2: CNF SAT as a CSP (one constraint per clause).
+
+    Clauses use DIMACS conventions: nonzero ints, negative = negated.
+    """
+    mentioned = {abs(literal) for clause in clauses for literal in clause}
+    if not mentioned and not variables:
+        raise ValueError("empty formula with no declared variables")
+    count = variables if variables is not None else max(mentioned)
+    domains = {f"x{i}": (True, False) for i in range(1, count + 1)}
+    constraints = []
+    for index, clause in enumerate(clauses):
+        scope = tuple(f"x{abs(literal)}" for literal in clause)
+        if len(set(scope)) != len(scope):
+            raise ValueError(
+                f"clause {clause} mentions a variable twice; simplify first"
+            )
+        allowed = [
+            row
+            for row in product((True, False), repeat=len(clause))
+            if any(
+                value == (literal > 0)
+                for value, literal in zip(row, clause)
+            )
+        ]
+        constraints.append(Constraint.make(f"clause{index}", scope, allowed))
+    return make_csp(domains, constraints)
+
+
+def example_5_csp() -> CSP:
+    """The running Example 5: three ternary constraints on six variables."""
+    domains = {
+        "x1": ("a", "b"),
+        "x2": ("b", "c"),
+        "x3": ("b", "c"),
+        "x4": ("b", "c"),
+        "x5": ("b", "c"),
+        "x6": ("b", "c"),
+    }
+    constraints = [
+        Constraint.make(
+            "C1",
+            ("x1", "x2", "x3"),
+            [("a", "b", "c"), ("a", "c", "b"), ("b", "b", "c")],
+        ),
+        Constraint.make(
+            "C2", ("x1", "x5", "x6"), [("a", "b", "c"), ("a", "c", "b")]
+        ),
+        Constraint.make(
+            "C3", ("x3", "x4", "x5"), [("c", "b", "c"), ("c", "c", "b")]
+        ),
+    ]
+    return make_csp(domains, constraints)
+
+
+def n_queens_csp(n: int) -> CSP:
+    """The n-queens problem: one variable per column, values are rows."""
+    if n < 1:
+        raise ValueError("need at least one queen")
+    rows = tuple(range(n))
+    constraints = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            allowed = [
+                (ri, rj)
+                for ri in rows
+                for rj in rows
+                if ri != rj and abs(ri - rj) != j - i
+            ]
+            constraints.append(
+                Constraint.make(f"q{i}_{j}", (f"q{i}", f"q{j}"), allowed)
+            )
+    return make_csp({f"q{i}": rows for i in range(n)}, constraints)
+
+
+def random_binary_csp(
+    variables: int,
+    domain_size: int,
+    density: float,
+    tightness: float,
+    seed: int = 0,
+) -> CSP:
+    """The classic random binary CSP model B.
+
+    ``density`` is the fraction of variable pairs constrained;
+    ``tightness`` the fraction of value pairs *forbidden* per constraint.
+    """
+    if not 0 <= density <= 1 or not 0 <= tightness <= 1:
+        raise ValueError("density and tightness must be in [0, 1]")
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(variables)]
+    values = tuple(range(domain_size))
+    all_pairs = [(a, b) for a in values for b in values]
+    constraints = []
+    index = 0
+    for i in range(variables):
+        for j in range(i + 1, variables):
+            if rng.random() >= density:
+                continue
+            forbidden_count = int(round(tightness * len(all_pairs)))
+            forbidden = set(
+                rng.sample(range(len(all_pairs)), forbidden_count)
+            )
+            allowed = [
+                pair
+                for k, pair in enumerate(all_pairs)
+                if k not in forbidden
+            ]
+            constraints.append(
+                Constraint.make(
+                    f"r{index}", (names[i], names[j]), allowed
+                )
+            )
+            index += 1
+    return make_csp({name: values for name in names}, constraints)
+
+
+def acyclic_chain_csp(length: int, domain_size: int = 3) -> CSP:
+    """An acyclic chain of overlapping ternary constraints.
+
+    Useful for exercising the join-tree pipeline: the constraint
+    hypergraph is trivially alpha-acyclic and has ghw 1.
+    """
+    if length < 1:
+        raise ValueError("chain needs at least one constraint")
+    values = tuple(range(domain_size))
+    constraints = []
+    for i in range(length):
+        scope = (f"y{i}", f"y{i + 1}", f"y{i + 2}")
+        allowed = [
+            (a, b, c)
+            for a in values
+            for b in values
+            for c in values
+            if (a + b + c) % 2 == 0
+        ]
+        constraints.append(Constraint.make(f"link{i}", scope, allowed))
+    domains = {f"y{i}": values for i in range(length + 2)}
+    return make_csp(domains, constraints)
+
+
+def relation_of(csp: CSP, name: str) -> Relation:
+    """The relation of constraint ``name`` (test helper)."""
+    return csp.constraint(name).relation

@@ -1,0 +1,132 @@
+"""Constraint satisfaction problems (Definitions 5-7).
+
+A CSP is variables + finite domains + constraints; each constraint is a
+scope (tuple of variables) plus a relation of allowed value combinations
+(Definition 5). :meth:`CSP.constraint_hypergraph` derives the structure
+the decomposition methods work on: one vertex per variable, one hyperedge
+per constraint scope (Definition 7), with hyperedge names matching the
+constraint names so lambda-labels point straight back at constraints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.csp.relations import Relation, Value, VariableName
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named constraint: a scope and its allowed tuples."""
+
+    name: str
+    relation: Relation
+
+    @property
+    def scope(self) -> tuple[VariableName, ...]:
+        return self.relation.schema
+
+    @staticmethod
+    def make(
+        name: str,
+        scope: Sequence[VariableName],
+        allowed: Iterable[Sequence[Value]],
+    ) -> "Constraint":
+        return Constraint(name=name, relation=Relation.make(scope, allowed))
+
+    def satisfied_by(self, assignment: Mapping[VariableName, Value]) -> bool:
+        """Does a (complete-on-scope) assignment satisfy this constraint?"""
+        row = tuple(assignment[variable] for variable in self.scope)
+        return row in self.relation.tuples
+
+
+@dataclass
+class CSP:
+    """A constraint satisfaction problem instance."""
+
+    domains: dict[VariableName, frozenset[Value]]
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [constraint.name for constraint in self.constraints]
+        if len(set(names)) != len(names):
+            raise ValueError("constraint names must be unique")
+        for constraint in self.constraints:
+            for variable in constraint.scope:
+                if variable not in self.domains:
+                    raise ValueError(
+                        f"constraint {constraint.name!r} mentions unknown "
+                        f"variable {variable!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def variables(self) -> list[VariableName]:
+        return list(self.domains)
+
+    def constraint(self, name: str) -> Constraint:
+        for candidate in self.constraints:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no constraint named {name!r}")
+
+    def constraint_hypergraph(
+        self, include_unconstrained: bool = True
+    ) -> Hypergraph:
+        """Definition 7: one hyperedge (named as the constraint) per scope.
+
+        With ``include_unconstrained=False``, variables appearing in no
+        constraint are dropped — decomposition widths are only defined
+        over constrained variables, and free variables can take any
+        domain value independently.
+        """
+        if include_unconstrained:
+            hypergraph = Hypergraph(vertices=self.domains.keys())
+        else:
+            hypergraph = Hypergraph()
+        for constraint in self.constraints:
+            hypergraph.add_edge(constraint.name, constraint.scope)
+        return hypergraph
+
+    def max_domain_size(self) -> int:
+        return max((len(d) for d in self.domains.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+
+    def is_solution(self, assignment: Mapping[VariableName, Value]) -> bool:
+        """Complete + consistent (Definition 6)."""
+        for variable, domain in self.domains.items():
+            if variable not in assignment:
+                return False
+            if assignment[variable] not in domain:
+                return False
+        return all(
+            constraint.satisfied_by(assignment)
+            for constraint in self.constraints
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSP(variables={len(self.domains)}, "
+            f"constraints={len(self.constraints)})"
+        )
+
+
+def make_csp(
+    domains: Mapping[VariableName, Iterable[Value]],
+    constraints: Iterable[Constraint],
+) -> CSP:
+    """Convenience constructor with domain freezing."""
+    return CSP(
+        domains={
+            variable: frozenset(values) for variable, values in domains.items()
+        },
+        constraints=list(constraints),
+    )

@@ -1,0 +1,185 @@
+"""A tiny relational algebra for CSP solving (Chapter 2 substrate).
+
+Constraint relations are finite relations over named variables. Acyclic
+Solving (Figure 2.4) needs the semijoin; Join-Tree Clustering and GHD
+solving (Section 2.4) need natural join and projection. Relations are
+immutable: every operator returns a new :class:`Relation`.
+
+Tuples are stored as plain Python tuples aligned with the relation's
+schema (a tuple of variable names). Joins hash on the shared columns,
+so a join of relations with t1 and t2 tuples costs O(t1 + t2 + output).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+Value = Hashable
+VariableName = Hashable
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named-column relation: a schema plus a set of aligned tuples."""
+
+    schema: tuple[VariableName, ...]
+    tuples: frozenset[tuple[Value, ...]]
+
+    def __post_init__(self) -> None:
+        if len(set(self.schema)) != len(self.schema):
+            raise ValueError(f"duplicate variables in schema {self.schema}")
+        for row in self.tuples:
+            if len(row) != len(self.schema):
+                raise ValueError(
+                    f"tuple {row} does not match schema {self.schema}"
+                )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def make(
+        schema: Sequence[VariableName],
+        rows: Iterable[Sequence[Value]],
+    ) -> "Relation":
+        return Relation(
+            schema=tuple(schema),
+            tuples=frozenset(tuple(row) for row in rows),
+        )
+
+    @staticmethod
+    def full(
+        variable: VariableName, domain: Iterable[Value]
+    ) -> "Relation":
+        """The unary relation allowing every domain value."""
+        return Relation.make((variable,), ((value,) for value in domain))
+
+    @staticmethod
+    def empty(schema: Sequence[VariableName]) -> "Relation":
+        return Relation.make(schema, ())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def arity(self) -> int:
+        return len(self.schema)
+
+    def is_empty(self) -> bool:
+        return not self.tuples
+
+    def as_dicts(self) -> list[dict[VariableName, Value]]:
+        """Rows as variable -> value mappings (handy for reporting)."""
+        return [dict(zip(self.schema, row)) for row in sorted(self.tuples, key=repr)]
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.tuples
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+
+    def _key_indices(
+        self, variables: Sequence[VariableName]
+    ) -> list[int]:
+        index = {name: i for i, name in enumerate(self.schema)}
+        return [index[name] for name in variables]
+
+    def project(self, variables: Sequence[VariableName]) -> "Relation":
+        """Projection pi_variables (duplicates collapse)."""
+        missing = [v for v in variables if v not in self.schema]
+        if missing:
+            raise KeyError(f"cannot project on absent variables {missing}")
+        indices = self._key_indices(variables)
+        return Relation.make(
+            tuple(variables),
+            (tuple(row[i] for i in indices) for row in self.tuples),
+        )
+
+    def select(
+        self, assignment: dict[VariableName, Value]
+    ) -> "Relation":
+        """Rows agreeing with ``assignment`` on its (present) variables."""
+        checks = [
+            (i, assignment[name])
+            for i, name in enumerate(self.schema)
+            if name in assignment
+        ]
+        return Relation(
+            schema=self.schema,
+            tuples=frozenset(
+                row
+                for row in self.tuples
+                if all(row[i] == value for i, value in checks)
+            ),
+        )
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural join on the shared variables (cartesian if none)."""
+        shared = [name for name in self.schema if name in other.schema]
+        extra = [name for name in other.schema if name not in self.schema]
+        left_keys = self._key_indices(shared)
+        right_keys = other._key_indices(shared)
+        extra_indices = other._key_indices(extra)
+
+        buckets: dict[tuple[Value, ...], list[tuple[Value, ...]]] = {}
+        for row in other.tuples:
+            key = tuple(row[i] for i in right_keys)
+            buckets.setdefault(key, []).append(row)
+
+        schema = self.schema + tuple(extra)
+        rows: list[tuple[Value, ...]] = []
+        for row in self.tuples:
+            key = tuple(row[i] for i in left_keys)
+            for match in buckets.get(key, ()):
+                rows.append(row + tuple(match[i] for i in extra_indices))
+        return Relation.make(schema, rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Semijoin: keep rows with at least one join partner in other.
+
+        This is the bottom-up step of Acyclic Solving (``R_j := R_j |x R_i``
+        in Figure 2.4, where ``|x`` denotes the semijoin).
+        """
+        shared = [name for name in self.schema if name in other.schema]
+        if not shared:
+            return self if not other.is_empty() else Relation.empty(self.schema)
+        left_keys = self._key_indices(shared)
+        right_keys = other._key_indices(shared)
+        allowed = {
+            tuple(row[i] for i in right_keys) for row in other.tuples
+        }
+        return Relation(
+            schema=self.schema,
+            tuples=frozenset(
+                row
+                for row in self.tuples
+                if tuple(row[i] for i in left_keys) in allowed
+            ),
+        )
+
+    def rename(
+        self, mapping: dict[VariableName, VariableName]
+    ) -> "Relation":
+        return Relation(
+            schema=tuple(mapping.get(name, name) for name in self.schema),
+            tuples=self.tuples,
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation(schema={self.schema}, rows={len(self.tuples)})"
+
+
+def join_all(relations: Sequence[Relation]) -> Relation:
+    """Left-fold natural join; the empty sequence yields the 0-ary TRUE."""
+    if not relations:
+        return Relation.make((), [()])
+    result = relations[0]
+    for relation in relations[1:]:
+        result = result.join(relation)
+    return result

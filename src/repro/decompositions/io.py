@@ -1,0 +1,208 @@
+"""Serialisation for decompositions: the PACE ``.td`` format and a GHD
+extension of it.
+
+The PACE challenge format is the de-facto interchange format for tree
+decompositions::
+
+    c any number of comment lines
+    s td <num_bags> <max_bag_size> <num_vertices>
+    b <bag_id> <vertex> <vertex> ...
+    <bag_id> <bag_id>              (tree edges)
+
+Vertices must be positive integers in PACE proper; this writer relabels
+arbitrary vertices and records the mapping in comments, and the reader
+accepts both ints and labels. For generalized hypertree decompositions
+the same skeleton gains ``l <bag_id> <edge_name> ...`` lambda lines — a
+small, documented extension (``s ghd`` header) since no standard exists.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.decompositions.ghd import GeneralizedHypertreeDecomposition
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.hypergraphs.io import FormatError
+
+
+def format_tree_decomposition(decomposition: TreeDecomposition) -> str:
+    """Render a tree decomposition in PACE ``.td`` format."""
+    vertices = sorted(
+        {v for bag in decomposition.bags.values() for v in bag}, key=repr
+    )
+    vertex_id = {vertex: i + 1 for i, vertex in enumerate(vertices)}
+    bag_ids = {node: i + 1 for i, node in enumerate(sorted(decomposition.bags))}
+    lines = ["c produced by repro"]
+    for vertex, number in vertex_id.items():
+        if str(vertex) != str(number):
+            lines.append(f"c vertex {number} = {vertex}")
+    max_bag = max((len(bag) for bag in decomposition.bags.values()), default=0)
+    lines.append(
+        f"s td {len(decomposition.bags)} {max_bag} {len(vertices)}"
+    )
+    for node in sorted(decomposition.bags):
+        members = " ".join(
+            str(vertex_id[v]) for v in sorted(decomposition.bags[node], key=repr)
+        )
+        lines.append(f"b {bag_ids[node]} {members}".rstrip())
+    for a, b in sorted(decomposition.tree_edges()):
+        lines.append(f"{bag_ids[a]} {bag_ids[b]}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_tree_decomposition(text: str) -> TreeDecomposition:
+    """Parse PACE ``.td`` text (vertices come back as ints)."""
+    decomposition = TreeDecomposition()
+    declared_bags: int | None = None
+    seen_solution_line = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        if fields[0] == "s":
+            if len(fields) != 5 or fields[1] != "td":
+                raise FormatError(
+                    f"line {line_number}: bad solution line {line!r}"
+                )
+            try:
+                declared_bags = int(fields[2])
+            except ValueError as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+            seen_solution_line = True
+        elif fields[0] == "b":
+            if not seen_solution_line:
+                raise FormatError(
+                    f"line {line_number}: bag before solution line"
+                )
+            if len(fields) < 2:
+                raise FormatError(f"line {line_number}: bad bag {line!r}")
+            try:
+                node = int(fields[1])
+                members = {int(v) for v in fields[2:]}
+            except ValueError as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+            try:
+                decomposition.add_node(members, node=node)
+            except ValueError as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+        else:
+            if len(fields) != 2:
+                raise FormatError(
+                    f"line {line_number}: bad tree edge {line!r}"
+                )
+            try:
+                a, b = int(fields[0]), int(fields[1])
+            except ValueError as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+            try:
+                decomposition.add_edge(a, b)
+            except KeyError as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+    if declared_bags is not None and declared_bags != decomposition.num_nodes():
+        raise FormatError(
+            f"header declared {declared_bags} bags, found "
+            f"{decomposition.num_nodes()}"
+        )
+    return decomposition
+
+
+def write_tree_decomposition(
+    decomposition: TreeDecomposition, path: str | Path
+) -> None:
+    Path(path).write_text(format_tree_decomposition(decomposition))
+
+
+def read_tree_decomposition(path: str | Path) -> TreeDecomposition:
+    return parse_tree_decomposition(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# GHD extension
+# ----------------------------------------------------------------------
+
+def format_ghd(ghd: GeneralizedHypertreeDecomposition) -> str:
+    """Render a GHD: the .td skeleton plus ``l`` lambda lines.
+
+    Vertices and hyperedge names are emitted verbatim (strings), since
+    lambda labels are names, not numbers.
+    """
+    bag_ids = {node: i + 1 for i, node in enumerate(sorted(ghd.tree.bags))}
+    vertices = sorted(
+        {v for bag in ghd.tree.bags.values() for v in bag}, key=repr
+    )
+    max_bag = max((len(bag) for bag in ghd.tree.bags.values()), default=0)
+    lines = [
+        "c produced by repro",
+        f"s ghd {len(ghd.tree.bags)} {max_bag} {len(vertices)} {ghd.width()}",
+    ]
+    for node in sorted(ghd.tree.bags):
+        members = " ".join(
+            str(v) for v in sorted(ghd.tree.bags[node], key=repr)
+        )
+        lines.append(f"b {bag_ids[node]} {members}".rstrip())
+        cover = " ".join(str(name) for name in sorted(ghd.covers[node], key=repr))
+        lines.append(f"l {bag_ids[node]} {cover}".rstrip())
+    for a, b in sorted(ghd.tree.tree_edges()):
+        lines.append(f"{bag_ids[a]} {bag_ids[b]}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_ghd(text: str) -> GeneralizedHypertreeDecomposition:
+    """Parse the ``s ghd`` format back (vertices/names come back as str)."""
+    ghd = GeneralizedHypertreeDecomposition()
+    seen_solution_line = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        if fields[0] == "s":
+            if len(fields) < 3 or fields[1] != "ghd":
+                raise FormatError(
+                    f"line {line_number}: bad solution line {line!r}"
+                )
+            seen_solution_line = True
+        elif fields[0] == "b":
+            if not seen_solution_line:
+                raise FormatError(
+                    f"line {line_number}: bag before solution line"
+                )
+            if len(fields) < 2:
+                raise FormatError(f"line {line_number}: bad bag {line!r}")
+            try:
+                ghd.tree.add_node(set(fields[2:]), node=int(fields[1]))
+            except ValueError as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+        elif fields[0] == "l":
+            if len(fields) < 2:
+                raise FormatError(
+                    f"line {line_number}: bad lambda line {line!r}"
+                )
+            try:
+                ghd.covers[int(fields[1])] = set(fields[2:])
+            except ValueError as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+        else:
+            if len(fields) != 2:
+                raise FormatError(
+                    f"line {line_number}: bad tree edge {line!r}"
+                )
+            try:
+                ghd.tree.add_edge(int(fields[0]), int(fields[1]))
+            except (ValueError, KeyError) as exc:
+                raise FormatError(f"line {line_number}: {exc}") from exc
+    missing = set(ghd.tree.bags) - set(ghd.covers)
+    if missing:
+        raise FormatError(f"bags without lambda lines: {sorted(missing)}")
+    return ghd
+
+
+def write_ghd(
+    ghd: GeneralizedHypertreeDecomposition, path: str | Path
+) -> None:
+    Path(path).write_text(format_ghd(ghd))
+
+
+def read_ghd(path: str | Path) -> GeneralizedHypertreeDecomposition:
+    return parse_ghd(Path(path).read_text())

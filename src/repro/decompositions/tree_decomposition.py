@@ -1,0 +1,256 @@
+"""Tree decompositions of hypergraphs (Definition 11).
+
+A tree decomposition of a hypergraph ``H = (V, H)`` is a tree whose nodes
+carry vertex sets (*bags*, the chi-labels) such that
+
+1. every hyperedge is contained in some bag, and
+2. for every vertex the bags containing it form a connected subtree
+   (the *connectedness condition*).
+
+Its width is ``max |bag| - 1``; the minimum over all tree decompositions
+is the *treewidth*. By Lemma 1 the tree decompositions of a hypergraph and
+of its primal graph coincide, which is why every algorithm in this library
+operates on the primal graph and why :meth:`TreeDecomposition.validate`
+accepts either.
+
+Tree nodes are integer ids; the tree itself is stored as an undirected
+adjacency structure plus an optional root (chapters 3 and 9 need rooted
+trees; everything else ignores the root).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.hypergraphs.graph import Graph, Vertex
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+class DecompositionError(ValueError):
+    """Raised when a decomposition violates one of its defining conditions."""
+
+
+@dataclass
+class TreeDecomposition:
+    """A tree of bags. Mutable while being built, validated on demand."""
+
+    bags: dict[int, set[Vertex]] = field(default_factory=dict)
+    _adj: dict[int, set[int]] = field(default_factory=dict)
+    root: int | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, bag: Iterable[Vertex], node: int | None = None) -> int:
+        """Add a node with the given bag; return its id."""
+        if node is None:
+            node = max(self.bags, default=-1) + 1
+        if node in self.bags:
+            raise ValueError(f"node {node} already exists")
+        self.bags[node] = set(bag)
+        self._adj[node] = set()
+        if self.root is None:
+            self.root = node
+        return node
+
+    def add_edge(self, a: int, b: int) -> None:
+        if a not in self.bags or b not in self.bags:
+            raise KeyError(f"tree edge ({a}, {b}) references unknown node")
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+
+    def remove_node(self, node: int) -> None:
+        """Remove a node and its incident tree edges.
+
+        The caller is responsible for keeping the tree connected (the
+        leaf-normal-form transformation only ever removes leaves).
+        """
+        for neighbour in self._adj.pop(node):
+            self._adj[neighbour].discard(node)
+        del self.bags[node]
+        if self.root == node:
+            self.root = next(iter(self.bags), None)
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[int]:
+        return list(self.bags)
+
+    def tree_neighbours(self, node: int) -> set[int]:
+        return set(self._adj[node])
+
+    def tree_edges(self) -> list[tuple[int, int]]:
+        seen = []
+        for a, neighbours in self._adj.items():
+            for b in neighbours:
+                if a < b:
+                    seen.append((a, b))
+        return seen
+
+    def leaves(self) -> list[int]:
+        """Degree-<=1 nodes (a single-node tree's node is a leaf)."""
+        return [node for node in self.bags if len(self._adj[node]) <= 1]
+
+    def num_nodes(self) -> int:
+        return len(self.bags)
+
+    def width(self) -> int:
+        """``max |bag| - 1`` (the empty decomposition has width -1)."""
+        return max((len(bag) for bag in self.bags.values()), default=0) - 1
+
+    def parent_map(self) -> dict[int, int | None]:
+        """Parents under the stored root (BFS orientation)."""
+        if self.root is None:
+            return {}
+        parents: dict[int, int | None] = {self.root: None}
+        frontier = [self.root]
+        while frontier:
+            current = frontier.pop()
+            for child in self._adj[current]:
+                if child not in parents:
+                    parents[child] = current
+                    frontier.append(child)
+        return parents
+
+    def depths(self) -> dict[int, int]:
+        """Distance of each node from the root."""
+        parents = self.parent_map()
+        depth: dict[int, int] = {}
+        for node in parents:
+            d = 0
+            current = node
+            while parents[current] is not None:
+                current = parents[current]  # type: ignore[assignment]
+                d += 1
+            depth[node] = d
+        return depth
+
+    def path_between(self, a: int, b: int) -> list[int]:
+        """The unique tree path from ``a`` to ``b`` (inclusive)."""
+        parents = {a: None}
+        frontier = [a]
+        while frontier and b not in parents:
+            current = frontier.pop()
+            for neighbour in self._adj[current]:
+                if neighbour not in parents:
+                    parents[neighbour] = current
+                    frontier.append(neighbour)
+        if b not in parents:
+            raise KeyError(f"no path between {a} and {b}")
+        path = [b]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    def nodes_containing(self, vertex: Vertex) -> list[int]:
+        """All nodes whose bag contains ``vertex`` (the set ``T_Y``)."""
+        return [node for node, bag in self.bags.items() if vertex in bag]
+
+    def copy(self) -> "TreeDecomposition":
+        result = TreeDecomposition(root=self.root)
+        result.bags = {node: set(bag) for node, bag in self.bags.items()}
+        result._adj = {node: set(adj) for node, adj in self._adj.items()}
+        return result
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def is_tree(self) -> bool:
+        """Connected and acyclic (|E| = |N| - 1 plus connectivity)."""
+        if not self.bags:
+            return False
+        edge_count = sum(len(adj) for adj in self._adj.values()) // 2
+        if edge_count != len(self.bags) - 1:
+            return False
+        seen = {next(iter(self.bags))}
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self._adj[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self.bags)
+
+    def satisfies_edge_cover(self, hypergraph: Hypergraph) -> bool:
+        """Condition 1: every hyperedge fits inside some bag."""
+        bags = list(self.bags.values())
+        return all(
+            any(edge <= bag for bag in bags)
+            for edge in hypergraph.edge_sets()
+        )
+
+    def covers_graph(self, graph: Graph) -> bool:
+        """Condition 1 for a regular graph: every edge inside some bag."""
+        bags = list(self.bags.values())
+        return all(
+            any(edge <= bag for bag in bags) for edge in graph.edges()
+        )
+
+    def satisfies_connectedness(self) -> bool:
+        """Condition 2: per-vertex bags induce connected subtrees."""
+        all_vertices: set[Vertex] = set()
+        for bag in self.bags.values():
+            all_vertices |= bag
+        for vertex in all_vertices:
+            containing = set(self.nodes_containing(vertex))
+            start = next(iter(containing))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self._adj[current]:
+                    if neighbour in containing and neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+            if seen != containing:
+                return False
+        return True
+
+    def covers_all_vertices(self, vertices: Iterable[Vertex]) -> bool:
+        """Every listed vertex appears in at least one bag."""
+        covered: set[Vertex] = set()
+        for bag in self.bags.values():
+            covered |= bag
+        return set(vertices) <= covered
+
+    def validate(self, instance: Hypergraph | Graph) -> None:
+        """Raise :class:`DecompositionError` unless this is a valid
+        tree decomposition of ``instance``."""
+        if not self.is_tree():
+            raise DecompositionError("decomposition is not a tree")
+        if isinstance(instance, Hypergraph):
+            if not self.covers_all_vertices(instance.vertices()):
+                raise DecompositionError("some vertex appears in no bag")
+            if not self.satisfies_edge_cover(instance):
+                raise DecompositionError("some hyperedge fits in no bag")
+        else:
+            if not self.covers_all_vertices(instance.vertices()):
+                raise DecompositionError("some vertex appears in no bag")
+            if not self.covers_graph(instance):
+                raise DecompositionError("some edge fits in no bag")
+        if not self.satisfies_connectedness():
+            raise DecompositionError("connectedness condition violated")
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDecomposition(nodes={self.num_nodes()}, "
+            f"width={self.width()})"
+        )
+
+
+def trivial_decomposition(instance: Hypergraph | Graph) -> TreeDecomposition:
+    """The one-bag decomposition containing every vertex.
+
+    Useful as a worst-case baseline (its width is ``|V| - 1``) and as a
+    seed for transformation algorithms.
+    """
+    decomposition = TreeDecomposition()
+    decomposition.add_node(instance.vertices())
+    return decomposition

@@ -1,0 +1,9 @@
+"""Programmable thesis-style experiments (instances x algorithms)."""
+
+from repro.experiments.runner import (
+    ExperimentSpec,
+    ExperimentTable,
+    run_experiment,
+)
+
+__all__ = ["ExperimentSpec", "ExperimentTable", "run_experiment"]

@@ -1,0 +1,197 @@
+"""A programmable experiment runner.
+
+The thesis's evaluation consists of tables: instances down the rows,
+algorithms/bounds across the columns. This module makes that pattern a
+library feature so downstream users can stage their own comparisons
+without copying the benchmark harness:
+
+    spec = ExperimentSpec(
+        instances=["queen5_5", "myciel4"],
+        measure="tw",
+        algorithms=["astar", "ga", "sa", "min-fill"],
+        time_limit=5.0,
+    )
+    table = run_experiment(spec)
+    print(table.to_text())
+
+Algorithms are addressed by the same names the CLI uses; exact
+algorithms report ``value`` or ``lb*[ub]`` brackets, heuristics report
+their upper bound. Results are plain data (list of dicts), so they feed
+into any further analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.genetic.engine import GAParameters
+from repro.hypergraphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.instances.registry import instance as registry_instance
+
+EXACT_TW = ("astar", "bb")
+EXACT_GHW = ("astar", "bb")
+HEURISTIC_TW = ("ga", "sa", "tabu", "min-fill", "min-degree", "min-width", "mcs")
+HEURISTIC_GHW = ("ga", "saiga", "sa", "tabu")
+
+
+@dataclass
+class ExperimentSpec:
+    """What to run: instances x algorithms for one width measure."""
+
+    instances: list[str]
+    measure: str = "tw"
+    algorithms: list[str] = field(default_factory=lambda: ["astar"])
+    time_limit: float | None = None
+    node_limit: int | None = None
+    seed: int = 0
+    ga_parameters: GAParameters | None = None
+
+    def validated(self) -> "ExperimentSpec":
+        if self.measure not in ("tw", "ghw"):
+            raise ValueError("measure must be 'tw' or 'ghw'")
+        known = (
+            set(EXACT_TW) | set(HEURISTIC_TW)
+            if self.measure == "tw"
+            else set(EXACT_GHW) | set(HEURISTIC_GHW)
+        )
+        unknown = [a for a in self.algorithms if a not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown algorithms for {self.measure}: {unknown}; "
+                f"choose from {sorted(known)}"
+            )
+        if not self.instances:
+            raise ValueError("need at least one instance")
+        return self
+
+
+@dataclass
+class ExperimentTable:
+    """Results: one dict per instance, one key per algorithm."""
+
+    measure: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        headers = ["instance", "V", "size"] + self.columns
+        grid = [headers]
+        for row in self.rows:
+            grid.append([str(row.get(h, "")) for h in headers])
+        widths = [
+            max(len(line[i]) for line in grid) for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            for line in grid
+        ]
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+
+def _run_tw_algorithm(name, graph, spec):
+    from repro.core.api import treewidth, treewidth_upper_bound
+    from repro.localsearch import sa_treewidth, tabu_treewidth
+
+    if name in EXACT_TW:
+        result = treewidth(
+            graph,
+            algorithm=name,
+            time_limit=spec.time_limit,
+            node_limit=spec.node_limit,
+            seed=spec.seed,
+        )
+        if result.optimal:
+            return result.value
+        return f"{result.lower_bound}*[{result.upper_bound}]"
+    if name == "sa":
+        return sa_treewidth(
+            graph, seed=spec.seed, time_limit=spec.time_limit
+        ).best_fitness
+    if name == "tabu":
+        return tabu_treewidth(
+            graph, seed=spec.seed, time_limit=spec.time_limit
+        ).best_fitness
+    if name == "ga":
+        from repro.genetic.ga_tw import ga_treewidth
+
+        return ga_treewidth(
+            graph,
+            parameters=spec.ga_parameters,
+            seed=spec.seed,
+            time_limit=spec.time_limit,
+        ).best_fitness
+    return treewidth_upper_bound(graph, method=name, seed=spec.seed)
+
+
+def _run_ghw_algorithm(name, hypergraph, spec):
+    from repro.core.api import generalized_hypertree_width
+    from repro.localsearch import sa_ghw, tabu_ghw
+
+    if name in EXACT_GHW:
+        result = generalized_hypertree_width(
+            hypergraph,
+            algorithm=name,
+            time_limit=spec.time_limit,
+            node_limit=spec.node_limit,
+            seed=spec.seed,
+        )
+        if result.optimal:
+            return result.value
+        return f"{result.lower_bound}*[{result.upper_bound}]"
+    if name == "sa":
+        return sa_ghw(
+            hypergraph, seed=spec.seed, time_limit=spec.time_limit
+        ).best_fitness
+    if name == "tabu":
+        return tabu_ghw(
+            hypergraph, seed=spec.seed, time_limit=spec.time_limit
+        ).best_fitness
+    if name == "saiga":
+        from repro.genetic.saiga import saiga_ghw
+
+        return saiga_ghw(
+            hypergraph, seed=spec.seed, time_limit=spec.time_limit
+        ).best_fitness
+    from repro.genetic.ga_ghw import ga_ghw
+
+    return ga_ghw(
+        hypergraph,
+        parameters=spec.ga_parameters,
+        seed=spec.seed,
+        time_limit=spec.time_limit,
+    ).best_fitness
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentTable:
+    """Execute the spec and return the filled table."""
+    spec = spec.validated()
+    table = ExperimentTable(measure=spec.measure, columns=list(spec.algorithms))
+    for name in spec.instances:
+        loaded = registry_instance(name)
+        if spec.measure == "ghw" and isinstance(loaded, Graph):
+            raise ValueError(f"instance {name!r} is a graph; ghw needs a hypergraph")
+        row: dict = {"instance": name, "V": _num_vertices(loaded), "size": _size(loaded)}
+        for algorithm in spec.algorithms:
+            started = time.monotonic()
+            if spec.measure == "tw":
+                row[algorithm] = _run_tw_algorithm(algorithm, loaded, spec)
+            else:
+                row[algorithm] = _run_ghw_algorithm(algorithm, loaded, spec)
+            row[f"{algorithm}_s"] = round(time.monotonic() - started, 2)
+        table.rows.append(row)
+    return table
+
+
+def _num_vertices(instance: Graph | Hypergraph) -> int:
+    return instance.num_vertices()
+
+
+def _size(instance: Graph | Hypergraph) -> str:
+    if isinstance(instance, Hypergraph):
+        return f"|H|={instance.num_edges()}"
+    return f"|E|={instance.num_edges()}"

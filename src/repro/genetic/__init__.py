@@ -1,0 +1,34 @@
+"""Genetic algorithms: GA-tw, GA-ghw, SAIGA-ghw and their operators."""
+
+from repro.genetic.crossover import CROSSOVER_OPERATORS, get_crossover
+from repro.genetic.engine import GAParameters, GAResult, run_ga
+from repro.genetic.ga_ghw import ga_ghw, ga_ghw_upper_bound
+from repro.genetic.ga_tw import ga_treewidth, ga_treewidth_upper_bound
+from repro.genetic.mutation import MUTATION_OPERATORS, get_mutation
+from repro.genetic.saiga import ParameterVector, SAIGAResult, saiga_ghw
+from repro.genetic.selection import best_individual, tournament_selection
+from repro.genetic.weighted import (
+    ga_weighted_triangulation,
+    triangulation_weight,
+)
+
+__all__ = [
+    "CROSSOVER_OPERATORS",
+    "GAParameters",
+    "GAResult",
+    "MUTATION_OPERATORS",
+    "ParameterVector",
+    "SAIGAResult",
+    "best_individual",
+    "ga_ghw",
+    "ga_ghw_upper_bound",
+    "ga_treewidth",
+    "ga_treewidth_upper_bound",
+    "ga_weighted_triangulation",
+    "triangulation_weight",
+    "get_crossover",
+    "get_mutation",
+    "run_ga",
+    "saiga_ghw",
+    "tournament_selection",
+]

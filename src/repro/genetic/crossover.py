@@ -1,0 +1,249 @@
+"""Crossover operators for permutations (Section 4.3.2, after [36]).
+
+All six operators the thesis compares in Table 6.1 are implemented. Each
+takes two parent permutations (of the same elements) plus a random source
+and returns two offspring permutations. Offspring are always valid
+permutations of the same elements — property tests enforce this.
+
+Operator summary (thesis ranking on Table 6.1: POS best):
+
+========  ============================================================
+PMX       exchange a random segment; repair conflicts via the mapping
+CX        first cycle from parent 1, rest from parent 2
+OX1       keep a segment, fill the rest in the other parent's order
+OX2       reorder coin-selected genes to the other parent's order
+POS       plant the other parent's genes at coin-selected positions
+AP        alternate genes from both parents, skipping duplicates
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.hypergraphs.graph import Vertex
+
+Permutation = list[Vertex]
+CrossoverOperator = Callable[
+    [Sequence[Vertex], Sequence[Vertex], random.Random],
+    tuple[Permutation, Permutation],
+]
+
+
+def _segment(n: int, rng: random.Random) -> tuple[int, int]:
+    """A random non-empty segment ``[lo, hi)`` of ``range(n)``."""
+    lo, hi = sorted(rng.sample(range(n + 1), 2))
+    if lo == hi:  # cannot happen with sample, kept for clarity
+        hi += 1
+    return lo, hi
+
+
+def _coin_positions(n: int, rng: random.Random) -> list[int]:
+    """Toss a coin per position; guarantee at least one selected and one
+    unselected so the operator actually mixes (for n >= 2)."""
+    positions = [i for i in range(n) if rng.random() < 0.5]
+    if not positions:
+        positions = [rng.randrange(n)]
+    if len(positions) == n and n >= 2:
+        positions.remove(rng.choice(positions))
+    return positions
+
+
+def _pmx_child(
+    donor: Sequence[Vertex],
+    receiver: Sequence[Vertex],
+    lo: int,
+    hi: int,
+) -> Permutation:
+    """One PMX offspring: the donor's segment inside the receiver."""
+    n = len(donor)
+    segment = list(donor[lo:hi])
+    in_segment = set(segment)
+    mapping = {donor[i]: receiver[i] for i in range(lo, hi)}
+    child: Permutation = [None] * n  # type: ignore[list-item]
+    child[lo:hi] = segment
+    for i in list(range(0, lo)) + list(range(hi, n)):
+        gene = receiver[i]
+        while gene in in_segment:
+            gene = mapping[gene]
+        child[i] = gene
+    return child
+
+
+def pmx(
+    parent1: Sequence[Vertex], parent2: Sequence[Vertex], rng: random.Random
+) -> tuple[Permutation, Permutation]:
+    """Partially-mapped crossover."""
+    n = len(parent1)
+    if n < 2:
+        return list(parent1), list(parent2)
+    lo, hi = _segment(n, rng)
+    return (
+        _pmx_child(parent2, parent1, lo, hi),
+        _pmx_child(parent1, parent2, lo, hi),
+    )
+
+
+def cx(
+    parent1: Sequence[Vertex], parent2: Sequence[Vertex], rng: random.Random
+) -> tuple[Permutation, Permutation]:
+    """Cycle crossover: the first cycle keeps its parent's positions."""
+    n = len(parent1)
+    if n < 2:
+        return list(parent1), list(parent2)
+    index_in_1 = {gene: i for i, gene in enumerate(parent1)}
+    cycle = {0}
+    position = index_in_1[parent2[0]]
+    while position != 0:
+        cycle.add(position)
+        position = index_in_1[parent2[position]]
+    child1 = [
+        parent1[i] if i in cycle else parent2[i] for i in range(n)
+    ]
+    child2 = [
+        parent2[i] if i in cycle else parent1[i] for i in range(n)
+    ]
+    return child1, child2
+
+
+def _ox1_child(
+    keeper: Sequence[Vertex],
+    filler: Sequence[Vertex],
+    lo: int,
+    hi: int,
+) -> Permutation:
+    n = len(keeper)
+    kept = set(keeper[lo:hi])
+    child: Permutation = [None] * n  # type: ignore[list-item]
+    child[lo:hi] = list(keeper[lo:hi])
+    # Fill remaining slots starting after the segment, taking the filler's
+    # genes in the order they appear starting from the segment end.
+    source = [filler[(hi + k) % n] for k in range(n)]
+    write_positions = [(hi + k) % n for k in range(n) if (hi + k) % n not in range(lo, hi)]
+    values = [gene for gene in source if gene not in kept]
+    for position, gene in zip(write_positions, values):
+        child[position] = gene
+    return child
+
+
+def ox1(
+    parent1: Sequence[Vertex], parent2: Sequence[Vertex], rng: random.Random
+) -> tuple[Permutation, Permutation]:
+    """Order crossover."""
+    n = len(parent1)
+    if n < 2:
+        return list(parent1), list(parent2)
+    lo, hi = _segment(n, rng)
+    return (
+        _ox1_child(parent1, parent2, lo, hi),
+        _ox1_child(parent2, parent1, lo, hi),
+    )
+
+
+def _ox2_child(
+    base: Sequence[Vertex],
+    other: Sequence[Vertex],
+    positions: list[int],
+) -> Permutation:
+    """Reorder ``other``'s selected genes inside ``base``."""
+    selected = [other[i] for i in positions]
+    selected_set = set(selected)
+    child = list(base)
+    slots = [i for i, gene in enumerate(base) if gene in selected_set]
+    for slot, gene in zip(slots, selected):
+        child[slot] = gene
+    return child
+
+
+def ox2(
+    parent1: Sequence[Vertex], parent2: Sequence[Vertex], rng: random.Random
+) -> tuple[Permutation, Permutation]:
+    """Order-based crossover."""
+    n = len(parent1)
+    if n < 2:
+        return list(parent1), list(parent2)
+    positions = _coin_positions(n, rng)
+    return (
+        _ox2_child(parent1, parent2, positions),
+        _ox2_child(parent2, parent1, positions),
+    )
+
+
+def _pos_child(
+    planter: Sequence[Vertex],
+    base: Sequence[Vertex],
+    positions: list[int],
+) -> Permutation:
+    """Plant ``planter``'s genes at ``positions``; fill with ``base``."""
+    n = len(base)
+    child: Permutation = [None] * n  # type: ignore[list-item]
+    planted = set()
+    for i in positions:
+        child[i] = planter[i]
+        planted.add(planter[i])
+    fill = iter(gene for gene in base if gene not in planted)
+    for i in range(n):
+        if child[i] is None:
+            child[i] = next(fill)
+    return child
+
+
+def pos(
+    parent1: Sequence[Vertex], parent2: Sequence[Vertex], rng: random.Random
+) -> tuple[Permutation, Permutation]:
+    """Position-based crossover (the thesis's operator of choice)."""
+    n = len(parent1)
+    if n < 2:
+        return list(parent1), list(parent2)
+    positions = _coin_positions(n, rng)
+    return (
+        _pos_child(parent2, parent1, positions),
+        _pos_child(parent1, parent2, positions),
+    )
+
+
+def _ap_child(
+    first: Sequence[Vertex], second: Sequence[Vertex]
+) -> Permutation:
+    n = len(first)
+    child: Permutation = []
+    seen: set[Vertex] = set()
+    iters = (iter(first), iter(second))
+    turn = 0
+    while len(child) < n:
+        for gene in iters[turn]:
+            if gene not in seen:
+                child.append(gene)
+                seen.add(gene)
+                break
+        turn = 1 - turn
+    return child
+
+
+def ap(
+    parent1: Sequence[Vertex], parent2: Sequence[Vertex], rng: random.Random
+) -> tuple[Permutation, Permutation]:
+    """Alternating-position crossover."""
+    if len(parent1) < 2:
+        return list(parent1), list(parent2)
+    return _ap_child(parent1, parent2), _ap_child(parent2, parent1)
+
+
+CROSSOVER_OPERATORS: dict[str, CrossoverOperator] = {
+    "PMX": pmx,
+    "CX": cx,
+    "OX1": ox1,
+    "OX2": ox2,
+    "POS": pos,
+    "AP": ap,
+}
+
+
+def get_crossover(name: str) -> CrossoverOperator:
+    try:
+        return CROSSOVER_OPERATORS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown crossover {name!r}; choose from {sorted(CROSSOVER_OPERATORS)}"
+        ) from None

@@ -1,0 +1,124 @@
+"""Mutation operators for permutations (Section 4.3.3, after [36]).
+
+The six operators compared in Table 6.2. Each takes a permutation and a
+random source and returns a *new* mutated permutation (inputs are never
+modified in place). Thesis ranking: ISM best overall, EM a close second.
+
+========  ===========================================================
+DM        move a random substring to a random position
+EM        exchange two random elements
+ISM       move a single random element to a random position
+SIM       reverse the substring between two random cutpoints
+IVM       move a random substring, reversed, to a random position
+SM        shuffle a random substring in place
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.hypergraphs.graph import Vertex
+
+Permutation = list[Vertex]
+MutationOperator = Callable[[Sequence[Vertex], random.Random], Permutation]
+
+
+def _cutpoints(n: int, rng: random.Random) -> tuple[int, int]:
+    lo, hi = sorted(rng.sample(range(n + 1), 2))
+    return lo, hi
+
+
+def displacement(
+    individual: Sequence[Vertex], rng: random.Random
+) -> Permutation:
+    """DM: displace a random substring."""
+    n = len(individual)
+    if n < 2:
+        return list(individual)
+    lo, hi = _cutpoints(n, rng)
+    piece = list(individual[lo:hi])
+    rest = list(individual[:lo]) + list(individual[hi:])
+    insert_at = rng.randint(0, len(rest))
+    return rest[:insert_at] + piece + rest[insert_at:]
+
+
+def exchange(individual: Sequence[Vertex], rng: random.Random) -> Permutation:
+    """EM: swap two random elements."""
+    n = len(individual)
+    result = list(individual)
+    if n < 2:
+        return result
+    i, j = rng.sample(range(n), 2)
+    result[i], result[j] = result[j], result[i]
+    return result
+
+
+def insertion(individual: Sequence[Vertex], rng: random.Random) -> Permutation:
+    """ISM: move one random element to a random position."""
+    n = len(individual)
+    result = list(individual)
+    if n < 2:
+        return result
+    i = rng.randrange(n)
+    gene = result.pop(i)
+    result.insert(rng.randint(0, n - 1), gene)
+    return result
+
+
+def simple_inversion(
+    individual: Sequence[Vertex], rng: random.Random
+) -> Permutation:
+    """SIM: reverse a random substring in place."""
+    n = len(individual)
+    result = list(individual)
+    if n < 2:
+        return result
+    lo, hi = _cutpoints(n, rng)
+    result[lo:hi] = result[lo:hi][::-1]
+    return result
+
+
+def inversion(individual: Sequence[Vertex], rng: random.Random) -> Permutation:
+    """IVM: displace a random substring in reversed order."""
+    n = len(individual)
+    if n < 2:
+        return list(individual)
+    lo, hi = _cutpoints(n, rng)
+    piece = list(individual[lo:hi])[::-1]
+    rest = list(individual[:lo]) + list(individual[hi:])
+    insert_at = rng.randint(0, len(rest))
+    return rest[:insert_at] + piece + rest[insert_at:]
+
+
+def scramble(individual: Sequence[Vertex], rng: random.Random) -> Permutation:
+    """SM: shuffle a random substring."""
+    n = len(individual)
+    result = list(individual)
+    if n < 2:
+        return result
+    lo, hi = _cutpoints(n, rng)
+    piece = result[lo:hi]
+    rng.shuffle(piece)
+    result[lo:hi] = piece
+    return result
+
+
+MUTATION_OPERATORS: dict[str, MutationOperator] = {
+    "DM": displacement,
+    "EM": exchange,
+    "ISM": insertion,
+    "SIM": simple_inversion,
+    "IVM": inversion,
+    "SM": scramble,
+}
+
+
+def get_mutation(name: str) -> MutationOperator:
+    try:
+        return MUTATION_OPERATORS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; choose from {sorted(MUTATION_OPERATORS)}"
+        ) from None

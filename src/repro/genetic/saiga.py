@@ -1,0 +1,280 @@
+"""SAIGA-ghw: self-adaptive island GA for ghw upper bounds (Section 7.2).
+
+GA-ghw's control parameters (crossover rate, mutation rate, tournament
+group size) had to be tuned by hand in Chapter 6; SAIGA removes the
+tuning experiments by evolving the parameters *with* the populations:
+
+* the population is split into islands arranged on a ring (Figure 7.3),
+* each island carries its own **parameter vector** (Section 7.2.2) and
+  runs the plain GA-ghw loop with it for one epoch,
+* after each epoch the islands' best individuals **migrate** to the next
+  island on the ring (replacing its worst individual),
+* each parameter vector is **mutated** with log-normal/Gaussian noise
+  (Section 7.2.4, Figure 7.4), and
+* **neighbour orientation** (Section 7.2.5) pulls an island's parameters
+  toward the ring neighbour that improved more in the last epoch, so
+  good settings spread without global coordination.
+
+The returned best fitness is a valid ghw upper bound for exactly the same
+reason as GA-ghw's (greedy covers only overestimate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.genetic.crossover import CROSSOVER_OPERATORS, get_crossover
+from repro.genetic.engine import GAParameters, GAResult
+from repro.genetic.ga_ghw import make_ghw_evaluator
+from repro.genetic.mutation import MUTATION_OPERATORS, get_mutation
+from repro.genetic.selection import best_individual, tournament_selection
+from repro.hypergraphs.graph import Vertex
+from repro.hypergraphs.hypergraph import Hypergraph
+
+Permutation = list[Vertex]
+
+
+@dataclass
+class ParameterVector:
+    """An island's evolvable control parameters (Section 7.2.2).
+
+    Rates live in [0.05, 1.0]; the group size in [2, 6]; operator choices
+    are categorical genes over the chapter-4 operator sets.
+    """
+
+    crossover_rate: float
+    mutation_rate: float
+    group_size: int
+    crossover: str
+    mutation: str
+
+    RATE_MIN = 0.05
+    RATE_MAX = 1.0
+    GROUP_MIN = 2
+    GROUP_MAX = 6
+
+    @classmethod
+    def random(cls, rng: random.Random) -> "ParameterVector":
+        """Section 7.2.3: parameters start uniformly over their ranges."""
+        return cls(
+            crossover_rate=rng.uniform(cls.RATE_MIN, cls.RATE_MAX),
+            mutation_rate=rng.uniform(cls.RATE_MIN, cls.RATE_MAX),
+            group_size=rng.randint(cls.GROUP_MIN, cls.GROUP_MAX),
+            crossover=rng.choice(sorted(CROSSOVER_OPERATORS)),
+            mutation=rng.choice(sorted(MUTATION_OPERATORS)),
+        )
+
+    def mutated(self, rng: random.Random, strength: float = 0.15) -> "ParameterVector":
+        """Figure 7.4: Gaussian-perturb rates, jitter the discrete genes."""
+        def clamp(value: float) -> float:
+            return min(self.RATE_MAX, max(self.RATE_MIN, value))
+
+        group = self.group_size
+        if rng.random() < strength:
+            group = min(
+                self.GROUP_MAX,
+                max(self.GROUP_MIN, group + rng.choice((-1, 1))),
+            )
+        crossover = self.crossover
+        if rng.random() < strength:
+            crossover = rng.choice(sorted(CROSSOVER_OPERATORS))
+        mutation = self.mutation
+        if rng.random() < strength:
+            mutation = rng.choice(sorted(MUTATION_OPERATORS))
+        return ParameterVector(
+            crossover_rate=clamp(self.crossover_rate + rng.gauss(0, strength)),
+            mutation_rate=clamp(self.mutation_rate + rng.gauss(0, strength)),
+            group_size=group,
+            crossover=crossover,
+            mutation=mutation,
+        )
+
+    def oriented_toward(
+        self, other: "ParameterVector", rng: random.Random, pull: float = 0.5
+    ) -> "ParameterVector":
+        """Section 7.2.5: move this vector toward a better neighbour's."""
+        return ParameterVector(
+            crossover_rate=self.crossover_rate
+            + pull * (other.crossover_rate - self.crossover_rate),
+            mutation_rate=self.mutation_rate
+            + pull * (other.mutation_rate - self.mutation_rate),
+            group_size=other.group_size if rng.random() < pull else self.group_size,
+            crossover=other.crossover if rng.random() < pull else self.crossover,
+            mutation=other.mutation if rng.random() < pull else self.mutation,
+        )
+
+    def as_ga_parameters(
+        self, population_size: int, epoch_generations: int
+    ) -> GAParameters:
+        return GAParameters(
+            population_size=population_size,
+            crossover_rate=self.crossover_rate,
+            mutation_rate=self.mutation_rate,
+            group_size=self.group_size,
+            max_iterations=epoch_generations,
+            crossover=self.crossover,
+            mutation=self.mutation,
+        )
+
+
+@dataclass
+class _Island:
+    population: list[Permutation]
+    fitnesses: list[int]
+    parameters: ParameterVector
+    previous_best: int
+    improvement: int = 0
+
+
+@dataclass
+class SAIGAResult(GAResult):
+    """GA result plus the per-island parameter trajectories."""
+
+    final_parameters: list[ParameterVector] = field(default_factory=list)
+
+
+def saiga_ghw(
+    hypergraph: Hypergraph,
+    islands: int = 4,
+    island_population: int = 20,
+    epochs: int = 10,
+    epoch_generations: int = 10,
+    seed: int | random.Random = 0,
+    time_limit: float | None = None,
+    target: int | None = None,
+) -> SAIGAResult:
+    """Run SAIGA-ghw; the best fitness found is a ghw upper bound."""
+    import time as _time
+
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    start = _time.monotonic()
+    evaluate = make_ghw_evaluator(hypergraph, rng=rng)
+    vertices = sorted(hypergraph.vertices(), key=repr)
+
+    if len(vertices) <= 1 or hypergraph.num_edges() == 0:
+        fitness = 0 if hypergraph.num_edges() == 0 else 1
+        return SAIGAResult(
+            best_fitness=fitness,
+            best_individual=list(vertices),
+            generations=0,
+            evaluations=0,
+            history=[fitness],
+        )
+
+    def random_population() -> list[Permutation]:
+        population = []
+        for _ in range(island_population):
+            individual = vertices[:]
+            rng.shuffle(individual)
+            population.append(individual)
+        return population
+
+    ring: list[_Island] = []
+    evaluations = 0
+    for _ in range(max(1, islands)):
+        population = random_population()
+        fitnesses = [evaluate(individual) for individual in population]
+        evaluations += len(population)
+        ring.append(
+            _Island(
+                population=population,
+                fitnesses=fitnesses,
+                parameters=ParameterVector.random(rng),
+                previous_best=min(fitnesses),
+            )
+        )
+
+    champion, champion_fitness = best_individual(
+        [ind for island in ring for ind in island.population],
+        [fit for island in ring for fit in island.fitnesses],
+    )
+    history = [champion_fitness]
+    generations = 0
+
+    for _epoch in range(epochs):
+        if target is not None and champion_fitness <= target:
+            break
+        if time_limit is not None and _time.monotonic() - start >= time_limit:
+            break
+        for island in ring:
+            crossover = get_crossover(island.parameters.crossover)
+            mutate = get_mutation(island.parameters.mutation)
+            for _generation in range(epoch_generations):
+                island.population = tournament_selection(
+                    island.population,
+                    island.fitnesses,
+                    island.parameters.group_size,
+                    island_population,
+                    rng,
+                )
+                pair_count = (
+                    int(island.parameters.crossover_rate * island_population)
+                    // 2
+                )
+                if pair_count:
+                    indices = rng.sample(
+                        range(island_population), 2 * pair_count
+                    )
+                    for k in range(pair_count):
+                        i, j = indices[2 * k], indices[2 * k + 1]
+                        child1, child2 = crossover(
+                            island.population[i], island.population[j], rng
+                        )
+                        island.population[i] = child1
+                        island.population[j] = child2
+                for i in range(island_population):
+                    if rng.random() < island.parameters.mutation_rate:
+                        island.population[i] = mutate(
+                            island.population[i], rng
+                        )
+                island.fitnesses = [
+                    evaluate(individual) for individual in island.population
+                ]
+                evaluations += island_population
+                generations += 1
+            epoch_best = min(island.fitnesses)
+            island.improvement = island.previous_best - epoch_best
+            island.previous_best = epoch_best
+            if epoch_best < champion_fitness:
+                champion, champion_fitness = best_individual(
+                    island.population, island.fitnesses
+                )
+        history.append(champion_fitness)
+
+        # Migration: each island's best replaces the next island's worst.
+        bests = [
+            best_individual(island.population, island.fitnesses)
+            for island in ring
+        ]
+        for index, island in enumerate(ring):
+            migrant, migrant_fitness = bests[index - 1]
+            worst = max(
+                range(island_population),
+                key=lambda i: (island.fitnesses[i], i),
+            )
+            island.population[worst] = migrant
+            island.fitnesses[worst] = migrant_fitness
+
+        # Self-adaptation: mutate parameters, then orient toward the
+        # better-improving ring neighbour (Sections 7.2.4-7.2.5).
+        new_parameters: list[ParameterVector] = []
+        for index, island in enumerate(ring):
+            vector = island.parameters.mutated(rng)
+            neighbours = (ring[index - 1], ring[(index + 1) % len(ring)])
+            better = max(neighbours, key=lambda isl: isl.improvement)
+            if better.improvement > island.improvement:
+                vector = vector.oriented_toward(better.parameters, rng)
+            new_parameters.append(vector)
+        for island, vector in zip(ring, new_parameters):
+            island.parameters = vector
+
+    return SAIGAResult(
+        best_fitness=champion_fitness,
+        best_individual=champion,
+        generations=generations,
+        evaluations=evaluations,
+        history=history,
+        elapsed=_time.monotonic() - start,
+        final_parameters=[island.parameters for island in ring],
+    )

@@ -1,0 +1,56 @@
+"""Selection schemes for the genetic algorithms (Section 4.3 / 6.1).
+
+The thesis uses **tournament selection** throughout: to select one
+individual, draw a random group of ``s`` individuals and take the fittest
+(smallest width — these are minimisation problems). Table 6.5 compares
+group sizes; ``s = 3`` is the thesis's final choice.
+
+Elitism is provided as an optional helper because the engine preserves
+the best-ever individual across generations (the thesis records the best
+fitness found during the whole run, which amounts to the same guarantee
+on reported results).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.hypergraphs.graph import Vertex
+
+Permutation = list[Vertex]
+
+
+def tournament_selection(
+    population: Sequence[Permutation],
+    fitnesses: Sequence[int],
+    group_size: int,
+    count: int,
+    rng: random.Random,
+) -> list[Permutation]:
+    """Select ``count`` individuals by repeated s-way tournaments.
+
+    Smaller fitness wins (widths are minimised). Selected individuals are
+    *copies*, so later crossover/mutation cannot alias population members.
+    """
+    if len(population) != len(fitnesses):
+        raise ValueError("population and fitnesses must align")
+    if not population:
+        raise ValueError("cannot select from an empty population")
+    if group_size < 1:
+        raise ValueError("tournament group size must be >= 1")
+    indices = range(len(population))
+    selected: list[Permutation] = []
+    for _ in range(count):
+        group = rng.sample(indices, min(group_size, len(population)))
+        winner = min(group, key=lambda i: (fitnesses[i], i))
+        selected.append(list(population[winner]))
+    return selected
+
+
+def best_individual(
+    population: Sequence[Permutation], fitnesses: Sequence[int]
+) -> tuple[Permutation, int]:
+    """The fittest individual and its fitness (ties break on index)."""
+    index = min(range(len(population)), key=lambda i: (fitnesses[i], i))
+    return list(population[index]), fitnesses[index]

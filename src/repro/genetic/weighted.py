@@ -1,0 +1,93 @@
+"""Weighted triangulation: the Larrañaga objective (Section 4.5).
+
+The GA the thesis builds on (Larrañaga et al.) does not minimise width
+but the *weight* of the triangulation of a Bayesian network's moral
+graph,
+
+    w(TD) = log2( sum over bags of the product of the state counts of
+                  the bag's variables ),
+
+i.e. the log of the total clique-table size — the true cost of exact
+inference. This module provides that objective and a GA wrapper, so the
+library covers the thesis's chapter-4.5 lineage as well as its own
+width-based chapters. With uniform state counts ``n_i = d`` the
+objective orders orderings (asymptotically) like width does, which the
+tests exercise.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.bounds.upper import min_degree_ordering, min_fill_ordering
+from repro.decompositions.elimination import elimination_bags
+from repro.genetic.engine import GAParameters, GAResult, run_ga
+from repro.hypergraphs.graph import Graph, Vertex
+
+
+def triangulation_weight(
+    graph: Graph,
+    ordering: Sequence[Vertex],
+    states: Mapping[Vertex, int],
+) -> float:
+    """``log2 sum_bags prod_{v in bag} states[v]`` for the ordering's
+    bucket-elimination bags."""
+    bags = elimination_bags(graph, ordering)
+    total = 0.0
+    for bag in bags.values():
+        table = 1.0
+        for vertex in bag:
+            count = states[vertex]
+            if count < 1:
+                raise ValueError(f"state count of {vertex!r} must be >= 1")
+            table *= count
+        total += table
+    return math.log2(total) if total > 0 else 0.0
+
+
+def ga_weighted_triangulation(
+    graph: Graph,
+    states: Mapping[Vertex, int],
+    parameters: GAParameters | None = None,
+    seed: int | random.Random = 0,
+    time_limit: float | None = None,
+) -> GAResult:
+    """Minimise the Larrañaga weight over elimination orderings.
+
+    The engine works on integer fitnesses; weights are scaled by 1000
+    and rounded, which preserves the ordering of solutions to three
+    decimal places of log2 table size.
+    """
+    missing = graph.vertices() - set(states)
+    if missing:
+        raise ValueError(
+            f"missing state counts for {sorted(map(repr, missing))}"
+        )
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    parameters = parameters or GAParameters()
+
+    vertices = sorted(graph.vertices(), key=repr)
+    if len(vertices) <= 1:
+        return run_ga(
+            vertices,
+            lambda _ordering: 0,
+            GAParameters(population_size=2, max_iterations=0),
+            rng,
+        )
+
+    def evaluate(ordering: Sequence[Vertex]) -> int:
+        return round(
+            1000 * triangulation_weight(graph, list(ordering), states)
+        )
+
+    seeds = [min_fill_ordering(graph, rng), min_degree_ordering(graph, rng)]
+    return run_ga(
+        vertices,
+        evaluate,
+        parameters,
+        rng,
+        seeds=seeds,
+        time_limit=time_limit,
+    )

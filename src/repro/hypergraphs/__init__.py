@@ -1,0 +1,36 @@
+"""Graph and hypergraph substrates."""
+
+from repro.hypergraphs.chordal import (
+    fill_in_graph,
+    is_chordal,
+    is_perfect_elimination_ordering,
+    maximum_clique_of_chordal,
+    treewidth_of_chordal,
+)
+from repro.hypergraphs.elimination_graph import (
+    EliminationGraph,
+    eliminate_sequence,
+)
+from repro.hypergraphs.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph, from_graph
+
+__all__ = [
+    "EliminationGraph",
+    "Graph",
+    "Hypergraph",
+    "complete_graph",
+    "cycle_graph",
+    "eliminate_sequence",
+    "fill_in_graph",
+    "is_chordal",
+    "is_perfect_elimination_ordering",
+    "maximum_clique_of_chordal",
+    "treewidth_of_chordal",
+    "from_graph",
+    "path_graph",
+]

@@ -1,0 +1,229 @@
+"""Hypergraphs, primal (Gaifman) graphs and dual graphs (Definitions 2-4).
+
+A :class:`Hypergraph` is a finite vertex set together with a family of
+hyperedges (subsets of the vertex set). Hyperedges are *named* so that a
+CSP's constraints map one-to-one onto them and so that set covers can
+report which constraints realise a lambda-label.
+
+The thesis works with three derived structures, all provided here:
+
+* the **primal graph** ``G*(H)`` — two vertices adjacent iff they co-occur
+  in some hyperedge (Definition 3); tree decompositions of ``H`` and of
+  ``G*(H)`` coincide (Lemma 1),
+* the **dual graph** — one vertex per hyperedge, adjacent iff the
+  hyperedges intersect (Definition 4); join trees live inside it,
+* the **hypergraph sequence of Definition 16** — eliminating a vertex
+  merges all hyperedges containing it, which :meth:`Hypergraph.eliminate`
+  implements for the chapter-3 theory and its tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Any
+
+from repro.hypergraphs.graph import Graph, Vertex
+
+EdgeName = Hashable
+
+
+class Hypergraph:
+    """A hypergraph with named hyperedges.
+
+    Parameters
+    ----------
+    edges:
+        Either a mapping ``name -> iterable of vertices`` or an iterable of
+        vertex-iterables (auto-named ``e0, e1, ...``).
+    vertices:
+        Optional extra vertices (isolated vertices are allowed; they simply
+        never constrain anything).
+    """
+
+    def __init__(
+        self,
+        edges: Mapping[EdgeName, Iterable[Vertex]] | Iterable[Iterable[Vertex]] = (),
+        vertices: Iterable[Vertex] = (),
+    ) -> None:
+        self._edges: dict[EdgeName, frozenset[Vertex]] = {}
+        self._vertices: set[Vertex] = set(vertices)
+        if isinstance(edges, Mapping):
+            named = edges.items()
+        else:
+            named = ((f"e{i}", edge) for i, edge in enumerate(edges))
+        for name, edge in named:
+            self.add_edge(name, edge)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        self._vertices.add(vertex)
+
+    def add_edge(self, name: EdgeName, edge: Iterable[Vertex]) -> None:
+        """Add hyperedge ``name`` over ``edge``'s vertices.
+
+        Empty hyperedges are rejected — they would make every set-cover
+        instance and the primal graph ill-defined.
+        """
+        members = frozenset(edge)
+        if not members:
+            raise ValueError(f"hyperedge {name!r} is empty")
+        if name in self._edges:
+            raise ValueError(f"duplicate hyperedge name {name!r}")
+        self._edges[name] = members
+        self._vertices |= members
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def vertices(self) -> set[Vertex]:
+        return set(self._vertices)
+
+    def edge_names(self) -> list[EdgeName]:
+        return list(self._edges)
+
+    def edge(self, name: EdgeName) -> frozenset[Vertex]:
+        return self._edges[name]
+
+    def edges(self) -> dict[EdgeName, frozenset[Vertex]]:
+        """A fresh name -> vertex-set mapping of all hyperedges."""
+        return dict(self._edges)
+
+    def edge_sets(self) -> list[frozenset[Vertex]]:
+        """The hyperedges as plain vertex sets (names dropped)."""
+        return list(self._edges.values())
+
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges_containing(self, vertex: Vertex) -> list[EdgeName]:
+        """Names of all hyperedges containing ``vertex``."""
+        return [name for name, edge in self._edges.items() if vertex in edge]
+
+    def incidence(self) -> dict[Vertex, set[EdgeName]]:
+        """``vertex -> set of edge names containing it`` for all vertices."""
+        table: dict[Vertex, set[EdgeName]] = {v: set() for v in self._vertices}
+        for name, edge in self._edges.items():
+            for vertex in edge:
+                table[vertex].add(name)
+        return table
+
+    def max_edge_size(self) -> int:
+        """Cardinality of the largest hyperedge (0 for an edgeless graph)."""
+        return max((len(edge) for edge in self._edges.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+
+    def primal_graph(self) -> Graph:
+        """The Gaifman/primal graph ``G*(H)`` (Definition 3)."""
+        graph = Graph(vertices=self._vertices)
+        for edge in self._edges.values():
+            graph.add_clique(edge)
+        return graph
+
+    def dual_graph(self) -> Graph:
+        """The dual graph: edge names adjacent iff hyperedges intersect."""
+        graph = Graph(vertices=self._edges.keys())
+        names = list(self._edges)
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                if self._edges[first] & self._edges[second]:
+                    graph.add_edge(first, second)
+        return graph
+
+    def eliminate(self, vertex: Vertex) -> "Hypergraph":
+        """The next hypergraph of Definition 16.
+
+        All hyperedges containing ``vertex`` are merged into a single
+        hyperedge, then ``vertex`` is removed. Edges that become empty or
+        duplicate the merged edge's content keep their own identity only
+        if they still contain some vertex; this mirrors the adjacency
+        bookkeeping of vertex elimination on the primal graph.
+        """
+        if vertex not in self._vertices:
+            raise KeyError(f"vertex {vertex!r} not in hypergraph")
+        merged: set[Vertex] = set()
+        survivors: dict[EdgeName, frozenset[Vertex]] = {}
+        merged_names: list[EdgeName] = []
+        for name, edge in self._edges.items():
+            if vertex in edge:
+                merged |= edge
+                merged_names.append(name)
+            else:
+                survivors[name] = edge
+        result = Hypergraph(vertices=self._vertices - {vertex})
+        for name, edge in survivors.items():
+            result.add_edge(name, edge)
+        merged.discard(vertex)
+        if merged:
+            merged_name = ("merged",) + tuple(merged_names)
+            result.add_edge(merged_name, merged)
+        return result
+
+    def restrict(self, vertices: Iterable[Vertex]) -> "Hypergraph":
+        """Restrict every hyperedge to ``vertices``; drop emptied edges.
+
+        Used by the ghw lower bound when reasoning about the remaining
+        (not yet eliminated) part of an instance.
+        """
+        keep = set(vertices)
+        result = Hypergraph(vertices=keep & self._vertices)
+        for name, edge in self._edges.items():
+            restricted = edge & keep
+            if restricted:
+                result.add_edge(name, restricted)
+        return result
+
+    def is_connected(self) -> bool:
+        """``True`` iff the primal graph is connected (and non-empty)."""
+        if not self._vertices:
+            return False
+        components = self.primal_graph().connected_components()
+        return len(components) == 1
+
+    def copy(self) -> "Hypergraph":
+        result = Hypergraph(vertices=self._vertices)
+        for name, edge in self._edges.items():
+            result.add_edge(name, edge)
+        return result
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._vertices
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._vertices == other._vertices and self._edges == other._edges
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(|V|={self.num_vertices()}, |H|={self.num_edges()})"
+        )
+
+
+def from_graph(graph: Graph) -> Hypergraph:
+    """View a regular graph as a hypergraph with 2-element hyperedges.
+
+    Every graph may be regarded as a hypergraph whose hyperedges connect
+    exactly two vertices (Definition 2).
+    """
+    hypergraph = Hypergraph(vertices=graph.vertices())
+    for i, edge in enumerate(sorted(graph.edges(), key=_edge_sort_key)):
+        hypergraph.add_edge(f"e{i}", edge)
+    return hypergraph
+
+
+def _edge_sort_key(edge: frozenset[Vertex]) -> tuple[str, ...]:
+    return tuple(sorted(repr(v) for v in edge))

@@ -1,0 +1,127 @@
+"""File formats: DIMACS ``.col`` graphs and hypergraph edge lists.
+
+Two formats cover the thesis's benchmark universes:
+
+* **DIMACS .col** (graph colouring): ``p edge N M`` header, ``e u v``
+  edge lines, ``c`` comments. Vertices are 1-based ints.
+* **Hypergraph edge lists** in the CSP-hypergraph-library style: one
+  hyperedge per line, ``name(v1,v2,...)`` with optional trailing comma
+  or period; blank lines and ``%``/``#`` comments ignored. A bare
+  ``v1 v2 v3`` line is also accepted (auto-named).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.hypergraphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+class FormatError(ValueError):
+    """Raised for malformed input files."""
+
+
+# ----------------------------------------------------------------------
+# DIMACS .col
+# ----------------------------------------------------------------------
+
+def parse_dimacs(text: str) -> Graph:
+    """Parse DIMACS graph-colouring format into a :class:`Graph`."""
+    graph = Graph()
+    declared: int | None = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        if fields[0] == "p":
+            if len(fields) != 4 or fields[1] not in ("edge", "edges", "col"):
+                raise FormatError(
+                    f"line {line_number}: bad problem line {line!r}"
+                )
+            declared = int(fields[2])
+            for vertex in range(1, declared + 1):
+                graph.add_vertex(vertex)
+        elif fields[0] == "e":
+            if len(fields) != 3:
+                raise FormatError(f"line {line_number}: bad edge {line!r}")
+            u, v = int(fields[1]), int(fields[2])
+            if u != v and not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+        elif fields[0] == "n":
+            continue  # optional node lines carry colouring data we ignore
+        else:
+            raise FormatError(
+                f"line {line_number}: unknown record {fields[0]!r}"
+            )
+    if declared is not None and graph.num_vertices() != declared:
+        raise FormatError(
+            f"header declared {declared} vertices, found {graph.num_vertices()}"
+        )
+    return graph
+
+
+def read_dimacs(path: str | Path) -> Graph:
+    return parse_dimacs(Path(path).read_text())
+
+
+def write_dimacs(graph: Graph, path: str | Path) -> None:
+    """Write a graph whose vertices are 1-based ints (or relabel first)."""
+    vertices = sorted(graph.vertices(), key=repr)
+    index = {vertex: i + 1 for i, vertex in enumerate(vertices)}
+    lines = [f"p edge {graph.num_vertices()} {graph.num_edges()}"]
+    for edge in sorted(
+        graph.edges(), key=lambda e: tuple(sorted(index[v] for v in e))
+    ):
+        u, v = sorted((index[w] for w in edge))
+        lines.append(f"e {u} {v}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Hypergraph edge lists
+# ----------------------------------------------------------------------
+
+_EDGE_LINE = re.compile(
+    r"^\s*(?P<name>[A-Za-z0-9_.\-]+)\s*\(\s*(?P<body>[^()]*?)\s*\)\s*[,.;]?\s*$"
+)
+
+
+def parse_hypergraph(text: str) -> Hypergraph:
+    """Parse a hypergraph edge list into a :class:`Hypergraph`."""
+    hypergraph = Hypergraph()
+    auto = 0
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("%", "#", "//")):
+            continue
+        match = _EDGE_LINE.match(line)
+        if match:
+            name = match.group("name")
+            body = match.group("body")
+            members = [token.strip() for token in body.split(",") if token.strip()]
+        else:
+            name = f"e{auto}"
+            auto += 1
+            members = line.replace(",", " ").split()
+        if not members:
+            raise FormatError(f"line {line_number}: empty hyperedge {line!r}")
+        try:
+            hypergraph.add_edge(name, members)
+        except ValueError as exc:
+            raise FormatError(f"line {line_number}: {exc}") from exc
+    return hypergraph
+
+
+def read_hypergraph(path: str | Path) -> Hypergraph:
+    return parse_hypergraph(Path(path).read_text())
+
+
+def write_hypergraph(hypergraph: Hypergraph, path: str | Path) -> None:
+    lines = []
+    for name, edge in sorted(hypergraph.edges().items(), key=lambda kv: repr(kv[0])):
+        members = ",".join(sorted(str(v) for v in edge))
+        lines.append(f"{name}({members})")
+    Path(path).write_text("\n".join(lines) + "\n")

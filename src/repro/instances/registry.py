@@ -1,0 +1,123 @@
+"""A named registry of benchmark instances.
+
+Maps thesis instance names (``queen5_5``, ``myciel4``, ``adder_15``,
+``grid2d_6`` ...) to generated graphs/hypergraphs, so tests, benches and
+the CLI can refer to workloads the way the thesis tables do. Random
+substitutes take their seed from the instance name, making every lookup
+reproducible.
+
+``graph_instance``/``hypergraph_instance`` parse parameterised names, so
+any size is addressable (e.g. ``queen9_9``, ``adder_200``), not just the
+sizes the thesis happened to print.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.hypergraphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.instances.dimacs_like import (
+    grid_graph,
+    mycielski_graph,
+    queen_graph,
+    random_gnm,
+    random_gnp,
+)
+from repro.instances.hypergraphs import (
+    adder,
+    bridge,
+    clique_hypergraph,
+    grid2d,
+    grid3d,
+    random_circuit,
+)
+
+#: DIMACS graphs with no public construction, simulated by G(n, m) with
+#: the published vertex/edge counts (Table 5.1 / 6.6 metadata).
+SIMULATED_DIMACS: dict[str, tuple[int, int]] = {
+    "anna": (138, 986),
+    "david": (87, 812),
+    "huck": (74, 602),
+    "jean": (80, 508),
+    "homer": (561, 3258),
+    "games120": (120, 1276),
+    "miles250": (128, 774),
+    "miles500": (128, 2340),
+    "miles750": (128, 4226),
+    "miles1000": (128, 6432),
+    "miles1500": (128, 10396),
+    "mulsol.i.1": (197, 3925),
+    "zeroin.i.1": (211, 4100),
+    "school1": (385, 19095),
+    "le450_5a": (450, 5714),
+}
+
+#: ISCAS-style circuits simulated with matching vertex/edge counts.
+SIMULATED_CIRCUITS: dict[str, tuple[int, int]] = {
+    # name -> (primary inputs, gates); |V| = inputs + gates, |H| = gates.
+    "b06": (8, 40),
+    "b08": (30, 140),
+    "b09": (29, 139),
+    "b10": (28, 161),
+    "c499": (41, 202),
+    "c880": (60, 323),
+}
+
+
+def _seed_from_name(name: str) -> int:
+    return sum(ord(ch) for ch in name)
+
+
+def graph_instance(name: str) -> Graph:
+    """Resolve a DIMACS-style instance name to a graph."""
+    queen = re.fullmatch(r"queen(\d+)_(\d+)", name)
+    if queen:
+        n, m = int(queen.group(1)), int(queen.group(2))
+        if n != m:
+            raise ValueError("only square queen boards are supported")
+        return queen_graph(n)
+    myciel = re.fullmatch(r"myciel(\d+)", name)
+    if myciel:
+        return mycielski_graph(int(myciel.group(1)))
+    grid = re.fullmatch(r"grid(\d+)", name)
+    if grid:
+        return grid_graph(int(grid.group(1)))
+    dsjc = re.fullmatch(r"DSJC(\d+)\.(\d+)", name)
+    if dsjc:
+        n = int(dsjc.group(1))
+        density = int(dsjc.group(2)) / 10.0
+        return random_gnp(n, density, seed=_seed_from_name(name))
+    if name in SIMULATED_DIMACS:
+        n, m = SIMULATED_DIMACS[name]
+        return random_gnm(n, m, seed=_seed_from_name(name))
+    raise KeyError(f"unknown graph instance {name!r}")
+
+
+def hypergraph_instance(name: str) -> Hypergraph:
+    """Resolve a hypergraph-library instance name to a hypergraph."""
+    for pattern, build in (
+        (r"adder_(\d+)", lambda n: adder(n)),
+        (r"bridge_(\d+)", lambda n: bridge(n)),
+        (r"clique_(\d+)", lambda n: clique_hypergraph(n)),
+        (r"grid2d_(\d+)", lambda n: grid2d(n)),
+        (r"grid3d_(\d+)", lambda n: grid3d(n)),
+    ):
+        match = re.fullmatch(pattern, name)
+        if match:
+            return build(int(match.group(1)))
+    if name in SIMULATED_CIRCUITS:
+        inputs, gates = SIMULATED_CIRCUITS[name]
+        return random_circuit(
+            inputs, gates, seed=_seed_from_name(name)
+        )
+    raise KeyError(f"unknown hypergraph instance {name!r}")
+
+
+def instance(name: str) -> Graph | Hypergraph:
+    """Resolve either kind of instance name."""
+    try:
+        return graph_instance(name)
+    except (KeyError, ValueError):
+        pass
+    return hypergraph_instance(name)

@@ -1,0 +1,195 @@
+"""Tabu search over elimination orderings.
+
+Table 6.6 of the thesis compares GA-tw against the best previously
+published DIMACS upper bounds, which include Clautiaux et al.'s tabu
+search [13]. This module supplies that style of competitor:
+
+* the neighbourhood of an ordering is the set of single-element
+  *insertion* moves (the thesis's best mutation, applied exhaustively
+  on a sample of positions),
+* moves that touch recently-moved vertices are tabu for a fixed tenure
+  unless they improve on the best width seen (aspiration),
+* the walk restarts from the incumbent when it stalls.
+
+Fitness callables are shared with the GA and SA, keeping the three
+upper-bound heuristics directly comparable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.hypergraphs.graph import Vertex
+
+Permutation = list[Vertex]
+Evaluator = Callable[[Sequence[Vertex]], int]
+
+
+@dataclass
+class TabuParameters:
+    iterations: int = 100
+    tenure: int = 8
+    neighbourhood_sample: int = 30
+    stall_restart: int = 25
+
+    def validated(self) -> "TabuParameters":
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+        if self.tenure < 0:
+            raise ValueError("tenure must be >= 0")
+        if self.neighbourhood_sample < 1:
+            raise ValueError("need at least one sampled neighbour")
+        if self.stall_restart < 1:
+            raise ValueError("stall threshold must be >= 1")
+        return self
+
+
+@dataclass
+class TabuResult:
+    best_fitness: int
+    best_individual: Permutation
+    evaluations: int
+    iterations: int
+    history: list[int] = field(default_factory=list)
+    elapsed: float = 0.0
+
+
+def tabu_search(
+    elements: Sequence[Vertex],
+    evaluate: Evaluator,
+    parameters: TabuParameters | None = None,
+    seed: int | random.Random = 0,
+    initial: Sequence[Vertex] | None = None,
+    time_limit: float | None = None,
+    target: int | None = None,
+) -> TabuResult:
+    """Tabu-search an ordering; smaller fitness is better."""
+    parameters = (parameters or TabuParameters()).validated()
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    start = time.monotonic()
+
+    if initial is not None:
+        current = list(initial)
+        if sorted(current, key=repr) != sorted(elements, key=repr):
+            raise ValueError("initial ordering must permute the elements")
+    else:
+        current = list(elements)
+        rng.shuffle(current)
+    n = len(current)
+    current_fitness = evaluate(current)
+    best, best_fitness = list(current), current_fitness
+    evaluations = 1
+    history = [best_fitness]
+    tabu_until: dict[Vertex, int] = {}
+    stalled = 0
+
+    for iteration in range(parameters.iterations):
+        if target is not None and best_fitness <= target:
+            break
+        if time_limit is not None and time.monotonic() - start >= time_limit:
+            break
+
+        best_move: tuple[int, int] | None = None
+        best_move_fitness: int | None = None
+        for _ in range(parameters.neighbourhood_sample):
+            source = rng.randrange(n)
+            destination = rng.randrange(n)
+            if source == destination:
+                continue
+            vertex = current[source]
+            neighbour = list(current)
+            neighbour.pop(source)
+            neighbour.insert(destination, vertex)
+            fitness = evaluate(neighbour)
+            evaluations += 1
+            is_tabu = tabu_until.get(vertex, -1) >= iteration
+            if is_tabu and fitness >= best_fitness:
+                continue  # tabu and no aspiration
+            if best_move_fitness is None or fitness < best_move_fitness:
+                best_move = (source, destination)
+                best_move_fitness = fitness
+        if best_move is None:
+            stalled += 1
+        else:
+            source, destination = best_move
+            vertex = current[source]
+            current.pop(source)
+            current.insert(destination, vertex)
+            current_fitness = best_move_fitness  # type: ignore[assignment]
+            tabu_until[vertex] = iteration + parameters.tenure
+            if current_fitness < best_fitness:
+                best, best_fitness = list(current), current_fitness
+                stalled = 0
+            else:
+                stalled += 1
+        if stalled >= parameters.stall_restart:
+            current = list(best)
+            current_fitness = best_fitness
+            tabu_until.clear()
+            stalled = 0
+        history.append(best_fitness)
+
+    return TabuResult(
+        best_fitness=best_fitness,
+        best_individual=best,
+        evaluations=evaluations,
+        iterations=len(history) - 1,
+        history=history,
+        elapsed=time.monotonic() - start,
+    )
+
+
+def tabu_treewidth(
+    graph,
+    parameters: TabuParameters | None = None,
+    seed: int = 0,
+    time_limit: float | None = None,
+) -> TabuResult:
+    """Tabu-search upper bound on the treewidth of ``graph``."""
+    from repro.bounds.upper import min_fill_ordering
+    from repro.decompositions.elimination import ordering_width
+    from repro.hypergraphs.hypergraph import Hypergraph
+
+    if isinstance(graph, Hypergraph):
+        graph = graph.primal_graph()
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    if len(vertices) <= 1:
+        return TabuResult(0, vertices, 0, 0, [0])
+    return tabu_search(
+        vertices,
+        lambda ordering: ordering_width(graph, list(ordering)),
+        parameters=parameters,
+        seed=rng,
+        initial=min_fill_ordering(graph, rng),
+        time_limit=time_limit,
+    )
+
+
+def tabu_ghw(
+    hypergraph,
+    parameters: TabuParameters | None = None,
+    seed: int = 0,
+    time_limit: float | None = None,
+) -> TabuResult:
+    """Tabu-search upper bound on ``ghw(hypergraph)``."""
+    from repro.bounds.upper import min_fill_ordering
+    from repro.genetic.ga_ghw import make_ghw_evaluator
+
+    rng = random.Random(seed)
+    vertices = sorted(hypergraph.vertices(), key=repr)
+    if len(vertices) <= 1 or hypergraph.num_edges() == 0:
+        fitness = 0 if hypergraph.num_edges() == 0 else 1
+        return TabuResult(fitness, vertices, 0, 0, [fitness])
+    primal = hypergraph.primal_graph()
+    return tabu_search(
+        vertices,
+        make_ghw_evaluator(hypergraph, rng=rng),
+        parameters=parameters,
+        seed=rng,
+        initial=min_fill_ordering(primal, rng),
+        time_limit=time_limit,
+    )

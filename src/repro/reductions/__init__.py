@@ -1,0 +1,27 @@
+"""Search-space reduction: simplicial rules and pruning rules."""
+
+from repro.reductions.pruning import (
+    pr1_ghw,
+    pr1_treewidth,
+    pr2_prune_children,
+    swap_safe_ghw,
+    swap_safe_treewidth,
+)
+from repro.reductions.simplicial import (
+    find_reduction_vertex,
+    find_simplicial,
+    find_strongly_almost_simplicial,
+    simplicial_preprocess,
+)
+
+__all__ = [
+    "find_reduction_vertex",
+    "find_simplicial",
+    "find_strongly_almost_simplicial",
+    "pr1_ghw",
+    "pr1_treewidth",
+    "pr2_prune_children",
+    "simplicial_preprocess",
+    "swap_safe_ghw",
+    "swap_safe_treewidth",
+]

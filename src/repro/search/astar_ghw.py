@@ -1,0 +1,144 @@
+"""A*-ghw: best-first exact generalized hypertree width (Chapter 9).
+
+The best-first counterpart of BB-ghw, built like A*-tw (Chapter 5) on
+the ghw ingredients: ``g`` is the largest exact bag-cover size of the
+prefix, ``h`` the tw-ksc-width lower bound of the remaining instance, and
+``f = max(g, h, f(parent))`` is nondecreasing along paths, so the ``f``
+of the last visited state is an anytime ghw *lower bound* — the quantity
+Tables 9.1/9.2 report for instances the thesis could not close.
+
+Goal test: once every hyperedge-restricted remainder can be covered
+within ``g`` (PR1's certificate, here checked as "the greedy cover of the
+whole remainder is at most g"), finishing in any order costs ``g``; the
+first such state popped is optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from itertools import count
+
+from repro.bounds.ghw_lower import tw_ksc_width_remaining
+from repro.hypergraphs.elimination_graph import EliminationGraph
+from repro.hypergraphs.graph import Vertex
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.reductions.pruning import pr2_prune_children, swap_safe_ghw
+from repro.reductions.simplicial import find_simplicial
+from repro.search.bb_ghw import initial_ghw_incumbent
+from repro.search.common import (
+    SearchBudget,
+    SearchResult,
+    certified,
+    interrupted,
+)
+from repro.setcover.exact import ExactSetCoverSolver
+from repro.setcover.greedy import greedy_set_cover
+
+
+def astar_ghw(
+    hypergraph: Hypergraph,
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    use_pr2: bool = True,
+    use_reductions: bool = True,
+    lb_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
+    rng: random.Random | None = None,
+) -> SearchResult:
+    """Compute ``ghw(hypergraph)`` via best-first search."""
+    budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
+    name = "astar-ghw"
+    if hypergraph.num_vertices() == 0 or hypergraph.num_edges() == 0:
+        return certified(
+            0, sorted(hypergraph.vertices(), key=repr), budget, name
+        )
+
+    edges = hypergraph.edges()
+    solver = ExactSetCoverSolver(edges)
+    primal = hypergraph.primal_graph()
+
+    lb = tw_ksc_width_remaining(
+        hypergraph, primal, tw_methods=lb_methods, rng=rng
+    )
+    ub, ub_ordering = initial_ghw_incumbent(hypergraph, solver, rng)
+    if lb >= ub:
+        return certified(ub, ub_ordering, budget, name)
+
+    working = EliminationGraph(primal)
+    sequence = count()
+    heap: list[
+        tuple[int, int, int, int, tuple[Vertex, ...], tuple[Vertex, ...], bool]
+    ] = []
+
+    def remainder_cover_size() -> int:
+        remaining = working.vertices()
+        if not remaining:
+            return 0
+        restricted = {
+            name_: frozenset(edge & remaining)
+            for name_, edge in edges.items()
+            if edge & remaining
+        }
+        return len(greedy_set_cover(remaining, restricted))
+
+    root_children = tuple(sorted(primal.vertices(), key=repr))
+    root_forced = False
+    if use_reductions:
+        simplicial = find_simplicial(primal)
+        if simplicial is not None:
+            root_children = (simplicial,)
+            root_forced = True
+    heapq.heappush(
+        heap, (lb, 0, next(sequence), 0, (), root_children, root_forced)
+    )
+
+    while heap:
+        if budget.exhausted():
+            return interrupted(lb, ub, ub_ordering, budget, name)
+        f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
+        budget.charge()
+        lb = max(lb, f)
+        working.switch_to(prefix)
+
+        if remainder_cover_size() <= g:
+            # Goal: any completion's bags stay within the remainder, whose
+            # cover fits in g — the completion has width exactly g.
+            ordering = list(prefix) + sorted(working.vertices(), key=repr)
+            return certified(g, ordering, budget, name)
+
+        for child in children:
+            bag = {child} | working.neighbours(child)
+            child_g = max(g, solver.cover_size(bag))
+            grandchildren = [v for v in working.vertices() if v != child]
+            if use_pr2 and not forced:
+                grandchildren = pr2_prune_children(
+                    working.graph(), child, grandchildren,
+                    swap_safe=swap_safe_ghw,
+                )
+            working.eliminate(child)
+            child_forced = False
+            if use_reductions:
+                simplicial = find_simplicial(working.graph())
+                if simplicial is not None:
+                    grandchildren = [simplicial]
+                    child_forced = True
+            h = tw_ksc_width_remaining(
+                hypergraph, working.graph(), tw_methods=lb_methods, rng=rng
+            )
+            child_f = max(child_g, h, f)
+            if child_f < ub:
+                heapq.heappush(
+                    heap,
+                    (
+                        child_f,
+                        neg_depth - 1,
+                        next(sequence),
+                        child_g,
+                        prefix + (child,),
+                        tuple(grandchildren),
+                        child_forced,
+                    ),
+                )
+            working.restore()
+
+    return certified(ub, ub_ordering, budget, name)

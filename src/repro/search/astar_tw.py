@@ -1,0 +1,136 @@
+"""A*-tw: best-first exact treewidth (Chapter 5, Figure 5.1).
+
+The branch-and-bound tree over elimination prefixes is searched best-first
+with evaluation ``f(n) = max(g(n), h(n), f(parent))`` where ``g`` is the
+width of the prefix and ``h`` an admissible treewidth lower bound on the
+remaining graph (max of minor-min-width and minor-gamma_R, Section 4.4.2).
+Among equal ``f`` the deeper state is preferred, so goals surface early
+once the frontier reaches the treewidth level (Section 5.3).
+
+Search-space shrinking follows the thesis exactly: states with
+``f >= ub`` are never enqueued; a simplicial or strongly almost
+simplicial vertex forces an only child; pruning rule 2 removes
+swap-redundant siblings (skipped when the parent's children were forced).
+
+Because ``f`` never decreases along a path, the ``f`` of the last visited
+state is an anytime treewidth *lower bound* — interrupting A*-tw yields
+``[last f, ub]`` (Section 5.3), which Table 5.1 reports for the instances
+the thesis could not finish.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from itertools import count
+
+from repro.bounds.lower import treewidth_lower_bound
+from repro.bounds.upper import upper_bound_ordering
+from repro.hypergraphs.elimination_graph import EliminationGraph
+from repro.hypergraphs.graph import Graph, Vertex
+from repro.reductions.pruning import pr2_prune_children, swap_safe_treewidth
+from repro.reductions.simplicial import find_reduction_vertex
+from repro.search.common import (
+    SearchBudget,
+    SearchResult,
+    certified,
+    interrupted,
+)
+
+
+def astar_treewidth(
+    graph: Graph,
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    use_pr2: bool = True,
+    use_reductions: bool = True,
+    lb_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
+    rng: random.Random | None = None,
+) -> SearchResult:
+    """Compute the treewidth of ``graph`` via best-first search.
+
+    Returns a certified :class:`SearchResult` or, when the budget runs
+    out, bounds with ``lower_bound`` taken from the A* frontier.
+    """
+    budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
+    name = "astar-tw"
+    n = graph.num_vertices()
+    if n <= 1:
+        return certified(0, sorted(graph.vertices(), key=repr), budget, name)
+
+    lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
+    ub, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
+    if lb >= ub:
+        return certified(ub, ub_ordering, budget, name)
+
+    working = EliminationGraph(graph)
+    sequence = count()
+    # Heap entries: (f, -depth, tiebreak, g, prefix, children, forced)
+    heap: list[
+        tuple[int, int, int, int, tuple[Vertex, ...], tuple[Vertex, ...], bool]
+    ] = []
+
+    root_children = tuple(sorted(graph.vertices(), key=repr))
+    root_forced = False
+    if use_reductions:
+        reduction = find_reduction_vertex(graph, lb)
+        if reduction is not None:
+            root_children = (reduction,)
+            root_forced = True
+    heapq.heappush(
+        heap, (lb, 0, next(sequence), 0, (), root_children, root_forced)
+    )
+
+    while heap:
+        if budget.exhausted():
+            return interrupted(lb, ub, ub_ordering, budget, name)
+        f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
+        budget.charge()
+        lb = max(lb, f)
+        working.switch_to(prefix)
+        remaining = working.num_vertices()
+
+        if g >= remaining - 1:
+            # Goal: finishing in any order yields width exactly g.
+            ordering = list(prefix) + sorted(working.vertices(), key=repr)
+            return certified(g, ordering, budget, name)
+
+        for child in children:
+            degree = working.degree(child)
+            child_g = max(g, degree)
+            grandchildren = [v for v in working.vertices() if v != child]
+            if use_pr2 and not forced:
+                grandchildren = pr2_prune_children(
+                    working.graph(), child, grandchildren,
+                    swap_safe=swap_safe_treewidth,
+                )
+            working.eliminate(child)
+            child_forced = False
+            if use_reductions:
+                reduction = find_reduction_vertex(
+                    working.graph(), max(child_g, lb)
+                )
+                if reduction is not None:
+                    grandchildren = [reduction]
+                    child_forced = True
+            h = treewidth_lower_bound(
+                working.graph(), methods=lb_methods, rng=rng
+            )
+            child_f = max(child_g, h, f)
+            if child_f < ub:
+                heapq.heappush(
+                    heap,
+                    (
+                        child_f,
+                        neg_depth - 1,
+                        next(sequence),
+                        child_g,
+                        prefix + (child,),
+                        tuple(grandchildren),
+                        child_forced,
+                    ),
+                )
+            working.restore()
+
+    # Every state with f < ub was exhausted: ub is the treewidth.
+    return certified(ub, ub_ordering, budget, name)

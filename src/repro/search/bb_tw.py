@@ -1,0 +1,147 @@
+"""Branch and bound for exact treewidth (the Section 4.4 baseline).
+
+This is the QuickBB/BB-tw-style algorithm the thesis reviews and compares
+against: depth-first search over elimination-ordering prefixes with
+
+* an initial incumbent from the min-fill heuristic,
+* per-node lower bounds ``f = max(g, h)`` with ``h`` a minor-based
+  treewidth lower bound on the remaining graph,
+* pruning rule 1 (finish-now certificates, Section 4.4.5),
+* pruning rule 2 (swap-redundant sibling elimination),
+* simplicial / strongly almost simplicial forcing (Section 4.4.3).
+
+The search walks a single :class:`EliminationGraph` with undo, so moving
+between search nodes costs only the differing suffix.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bounds.lower import treewidth_lower_bound
+from repro.bounds.upper import upper_bound_ordering
+from repro.hypergraphs.elimination_graph import EliminationGraph
+from repro.hypergraphs.graph import Graph, Vertex
+from repro.reductions.pruning import pr1_treewidth, pr2_prune_children, swap_safe_treewidth
+from repro.reductions.simplicial import find_reduction_vertex
+from repro.search.common import (
+    SearchBudget,
+    SearchResult,
+    certified,
+    interrupted,
+)
+
+
+class _Incumbent:
+    """Best complete ordering found so far."""
+
+    def __init__(self, width: int, ordering: list[Vertex]) -> None:
+        self.width = width
+        self.ordering = ordering
+
+    def offer(self, width: int, ordering: list[Vertex]) -> None:
+        if width < self.width:
+            self.width = width
+            self.ordering = ordering
+
+
+def branch_and_bound_treewidth(
+    graph: Graph,
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    use_pr2: bool = True,
+    use_reductions: bool = True,
+    lb_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
+    rng: random.Random | None = None,
+) -> SearchResult:
+    """Compute the treewidth of ``graph`` (or bounds, if interrupted)."""
+    budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
+    name = "bb-tw"
+    n = graph.num_vertices()
+    if n == 0:
+        return certified(0, [], budget, name)
+    if n == 1:
+        return certified(0, list(graph.vertices()), budget, name)
+
+    root_lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
+    ub_width, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
+    incumbent = _Incumbent(ub_width, ub_ordering)
+    if root_lb >= incumbent.width:
+        return certified(incumbent.width, incumbent.ordering, budget, name)
+
+    working = EliminationGraph(graph)
+    aborted = False
+
+    def visit(g: int, children: list[Vertex], forced: bool) -> None:
+        """Depth-first expansion; ``children`` were computed by the parent
+        (so PR2 could consult the pre-elimination graph)."""
+        nonlocal aborted
+        if aborted or budget.exhausted():
+            aborted = True
+            return
+        budget.charge()
+
+        remaining = working.num_vertices()
+        prefix = working.eliminated()
+        if remaining == 0:
+            incumbent.offer(g, list(prefix))
+            return
+
+        achievable, close = pr1_treewidth(g, remaining)
+        if achievable < incumbent.width:
+            incumbent.offer(
+                achievable, list(prefix) + sorted(working.vertices(), key=repr)
+            )
+        if close:
+            return
+
+        # Order children cheapest-degree-first: good solutions early
+        # tighten the incumbent for the remaining siblings.
+        ranked = sorted(
+            children, key=lambda v: (working.degree(v), repr(v))
+        )
+        for child in ranked:
+            if aborted:
+                return
+            degree = working.degree(child)
+            child_g = max(g, degree)
+            if child_g >= incumbent.width:
+                continue
+            grandchildren = [
+                v for v in working.vertices() if v != child
+            ]
+            if use_pr2 and not forced:
+                grandchildren = pr2_prune_children(
+                    working.graph(), child, grandchildren,
+                    swap_safe=swap_safe_treewidth,
+                )
+            working.eliminate(child)
+            child_forced = False
+            if use_reductions:
+                reduction = find_reduction_vertex(
+                    working.graph(), max(child_g, root_lb)
+                )
+                if reduction is not None:
+                    grandchildren = [reduction]
+                    child_forced = True
+            h = treewidth_lower_bound(
+                working.graph(), methods=lb_methods, rng=rng
+            )
+            if max(child_g, h) < incumbent.width:
+                visit(child_g, grandchildren, child_forced)
+            working.restore()
+
+    root_children = sorted(graph.vertices(), key=repr)
+    root_forced = False
+    if use_reductions:
+        reduction = find_reduction_vertex(graph, root_lb)
+        if reduction is not None:
+            root_children = [reduction]
+            root_forced = True
+    visit(0, root_children, root_forced)
+
+    if aborted:
+        return interrupted(
+            root_lb, incumbent.width, incumbent.ordering, budget, name
+        )
+    return certified(incumbent.width, incumbent.ordering, budget, name)

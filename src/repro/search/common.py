@@ -1,0 +1,137 @@
+"""Shared infrastructure for the exact search algorithms (Chapter 4).
+
+Both search families in the thesis — depth-first branch and bound
+(Section 4.1) and best-first A* (Section 4.2) — explore the tree of
+elimination-ordering prefixes. They share bookkeeping: resource limits,
+anytime incumbents, anytime lower bounds and a uniform result record.
+
+:class:`SearchResult` is what every exact algorithm returns. The
+``optimal`` flag distinguishes a certified value from an interrupted run,
+in which case ``lower_bound``/``upper_bound`` bracket the true answer
+(Section 5.3 explains why the A* frontier yields nondecreasing anytime
+lower bounds; a branch and bound's incumbent yields anytime upper
+bounds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.hypergraphs.graph import Vertex
+
+
+class SearchBudget:
+    """Wall-clock and node budget for a search run."""
+
+    def __init__(
+        self,
+        time_limit: float | None = None,
+        node_limit: int | None = None,
+    ) -> None:
+        self.time_limit = time_limit
+        self.node_limit = node_limit
+        self.nodes = 0
+        self._start = time.monotonic()
+
+    def charge(self) -> None:
+        """Account for one expanded node."""
+        self.nodes += 1
+
+    def exhausted(self) -> bool:
+        if self.node_limit is not None and self.nodes >= self.node_limit:
+            return True
+        if (
+            self.time_limit is not None
+            and time.monotonic() - self._start >= self.time_limit
+        ):
+            return True
+        return False
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an exact (possibly interrupted) width computation."""
+
+    value: int | None
+    """The certified width, or ``None`` if the run was interrupted."""
+
+    lower_bound: int
+    """Best proven lower bound on the width."""
+
+    upper_bound: int
+    """Best width of any solution found (``|V| - 1`` at worst)."""
+
+    ordering: list[Vertex] = field(default_factory=list)
+    """Elimination ordering achieving ``upper_bound``."""
+
+    optimal: bool = False
+    """``True`` iff ``value`` is certified (then lb == ub == value)."""
+
+    nodes_expanded: int = 0
+    elapsed: float = 0.0
+    algorithm: str = ""
+
+    def __post_init__(self) -> None:
+        if self.optimal and self.value is None:
+            raise ValueError("optimal result must carry a value")
+        if self.optimal and self.lower_bound != self.upper_bound:
+            raise ValueError("optimal result must have lb == ub")
+
+    @property
+    def gap(self) -> int:
+        """``upper_bound - lower_bound`` (0 iff certified)."""
+        return self.upper_bound - self.lower_bound
+
+    def summary(self) -> str:
+        status = "optimal" if self.optimal else "interrupted"
+        shown = self.value if self.value is not None else f"[{self.lower_bound}, {self.upper_bound}]"
+        return (
+            f"{self.algorithm}: width={shown} ({status}), "
+            f"nodes={self.nodes_expanded}, time={self.elapsed:.2f}s"
+        )
+
+
+def certified(
+    value: int,
+    ordering: list[Vertex],
+    budget: SearchBudget,
+    algorithm: str,
+) -> SearchResult:
+    """Build an optimal :class:`SearchResult`."""
+    return SearchResult(
+        value=value,
+        lower_bound=value,
+        upper_bound=value,
+        ordering=ordering,
+        optimal=True,
+        nodes_expanded=budget.nodes,
+        elapsed=budget.elapsed(),
+        algorithm=algorithm,
+    )
+
+
+def interrupted(
+    lower_bound: int,
+    upper_bound: int,
+    ordering: list[Vertex],
+    budget: SearchBudget,
+    algorithm: str,
+) -> SearchResult:
+    """Build an interrupted :class:`SearchResult` (bounds only)."""
+    if lower_bound >= upper_bound:
+        # The budget ran out exactly as the bounds met: still certified.
+        return certified(upper_bound, ordering, budget, algorithm)
+    return SearchResult(
+        value=None,
+        lower_bound=lower_bound,
+        upper_bound=upper_bound,
+        ordering=ordering,
+        optimal=False,
+        nodes_expanded=budget.nodes,
+        elapsed=budget.elapsed(),
+        algorithm=algorithm,
+    )

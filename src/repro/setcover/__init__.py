@@ -1,0 +1,35 @@
+"""Set cover: greedy heuristic, exact solver, k-set-cover lower bounds."""
+
+from repro.setcover.exact import (
+    ExactSetCoverSolver,
+    exact_cover_size,
+    exact_set_cover,
+)
+from repro.setcover.fractional import (
+    fractional_cover_value,
+    ordering_fractional_width,
+)
+from repro.setcover.greedy import (
+    UncoverableError,
+    greedy_cover_size,
+    greedy_set_cover,
+)
+from repro.setcover.lower_bounds import (
+    ceiling_lower_bound,
+    k_set_cover_lower_bound,
+    size_profile_lower_bound,
+)
+
+__all__ = [
+    "ExactSetCoverSolver",
+    "UncoverableError",
+    "ceiling_lower_bound",
+    "exact_cover_size",
+    "exact_set_cover",
+    "fractional_cover_value",
+    "ordering_fractional_width",
+    "greedy_cover_size",
+    "greedy_set_cover",
+    "k_set_cover_lower_bound",
+    "size_profile_lower_bound",
+]

@@ -1,0 +1,143 @@
+"""Exact minimum set cover via branch and bound.
+
+The thesis solves the per-bag set-cover problems exactly with an IP solver
+when proving optimal generalized hypertree widths (Section 2.5.2). No IP
+solver is available offline, so this module provides a self-contained
+branch-and-bound solver with the classic ingredients:
+
+* greedy upper bound to start,
+* branching on a hardest (least-covered) uncovered element, trying only
+  the edges that contain it (this keeps the branching factor small and is
+  complete: *some* chosen edge must contain that element),
+* lower bound ``ceil(|uncovered| / max_gain)`` for pruning,
+* dominance preprocessing (edges that are subsets of other edges are
+  dropped), and
+* memoisation keyed on the frozen uncovered set, which pays off across the
+  thousands of highly-similar bags a BB-ghw run evaluates.
+
+For the bag sizes arising from elimination orderings (tens of vertices)
+this is exact and fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from math import ceil
+
+from repro.hypergraphs.graph import Vertex
+from repro.hypergraphs.hypergraph import EdgeName
+from repro.setcover.greedy import UncoverableError, greedy_set_cover
+
+
+def _prune_dominated(
+    edges: Mapping[EdgeName, frozenset[Vertex]], universe: set[Vertex]
+) -> dict[EdgeName, frozenset[Vertex]]:
+    """Restrict edges to the universe and drop dominated (subset) edges."""
+    restricted: dict[EdgeName, frozenset[Vertex]] = {}
+    for name, edge in edges.items():
+        useful = edge & universe
+        if useful:
+            restricted[name] = frozenset(useful)
+    names = sorted(restricted, key=lambda n: (-len(restricted[n]), repr(n)))
+    kept: dict[EdgeName, frozenset[Vertex]] = {}
+    for name in names:
+        edge = restricted[name]
+        if not any(edge <= other for other in kept.values()):
+            kept[name] = edge
+    return kept
+
+
+class ExactSetCoverSolver:
+    """Reusable exact solver; caches optimal covers across calls.
+
+    A single solver instance should be reused for all bags of one
+    hypergraph: the memo table is keyed by the uncovered vertex set, and
+    elimination bags overlap heavily.
+    """
+
+    def __init__(self, edges: Mapping[EdgeName, frozenset[Vertex]]) -> None:
+        self._edges = {name: frozenset(edge) for name, edge in edges.items()}
+        self._memo: dict[frozenset[Vertex], tuple[EdgeName, ...]] = {}
+
+    def cover(self, target: Iterable[Vertex]) -> list[EdgeName]:
+        """An optimal cover of ``target``; raises if uncoverable."""
+        universe = set(target)
+        if not universe:
+            return []
+        key = frozenset(universe)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return list(cached)
+        edges = _prune_dominated(self._edges, universe)
+        coverable: set[Vertex] = set()
+        for edge in edges.values():
+            coverable |= edge
+        if not universe <= coverable:
+            missing = universe - coverable
+            raise UncoverableError(
+                f"vertices {sorted(map(repr, missing))} appear in no hyperedge"
+            )
+        best = greedy_set_cover(universe, edges)
+        best_tuple = tuple(best)
+        result = self._search(frozenset(universe), edges, (), len(best))
+        if result is not None:
+            best_tuple = result
+        self._memo[key] = best_tuple
+        return list(best_tuple)
+
+    def cover_size(self, target: Iterable[Vertex]) -> int:
+        return len(self.cover(target))
+
+    def _search(
+        self,
+        uncovered: frozenset[Vertex],
+        edges: dict[EdgeName, frozenset[Vertex]],
+        chosen: tuple[EdgeName, ...],
+        budget: int,
+    ) -> tuple[EdgeName, ...] | None:
+        """Find a cover strictly smaller than ``budget`` if one exists."""
+        if not uncovered:
+            return chosen if len(chosen) < budget else None
+        max_gain = max(len(edge & uncovered) for edge in edges.values())
+        if max_gain == 0:
+            return None
+        if len(chosen) + ceil(len(uncovered) / max_gain) >= budget:
+            return None
+        # Branch on the element contained in the fewest edges: it
+        # minimises the branching factor and must be covered by one of
+        # its containing edges in any solution.
+        counts: dict[Vertex, int] = {vertex: 0 for vertex in uncovered}
+        for edge in edges.values():
+            for vertex in edge & uncovered:
+                counts[vertex] += 1
+        pivot = min(uncovered, key=lambda v: (counts[v], repr(v)))
+        candidates = sorted(
+            (name for name, edge in edges.items() if pivot in edge),
+            key=lambda n: (-len(edges[n] & uncovered), repr(n)),
+        )
+        best: tuple[EdgeName, ...] | None = None
+        for name in candidates:
+            found = self._search(
+                uncovered - edges[name], edges, chosen + (name,), budget
+            )
+            if found is not None:
+                best = found
+                budget = len(found)
+                if budget <= len(chosen) + 1:
+                    break
+        return best
+
+
+def exact_set_cover(
+    target: Iterable[Vertex],
+    edges: Mapping[EdgeName, frozenset[Vertex]],
+) -> list[EdgeName]:
+    """One-shot exact cover (builds a throwaway solver)."""
+    return ExactSetCoverSolver(edges).cover(target)
+
+
+def exact_cover_size(
+    target: Iterable[Vertex],
+    edges: Mapping[EdgeName, frozenset[Vertex]],
+) -> int:
+    return len(exact_set_cover(target, edges))

@@ -1,0 +1,108 @@
+"""Tests for the upper-bound ordering heuristics (Section 4.4.2)."""
+
+import random
+
+import pytest
+
+from repro.bounds.upper import (
+    heuristic_names,
+    max_cardinality_ordering,
+    min_degree_ordering,
+    min_fill_ordering,
+    min_width_ordering,
+    treewidth_upper_bound,
+    upper_bound_ordering,
+)
+from repro.decompositions.elimination import ordering_width
+from repro.hypergraphs.graph import complete_graph, cycle_graph, path_graph
+from repro.instances.dimacs_like import grid_graph, queen_graph, random_gnp
+
+ALL_BUILDERS = [
+    min_fill_ordering,
+    min_degree_ordering,
+    min_width_ordering,
+    max_cardinality_ordering,
+]
+
+
+class TestOrderingsAreValid:
+    @pytest.mark.parametrize("build", ALL_BUILDERS)
+    def test_permutation(self, build):
+        graph = random_gnp(12, 0.4, seed=1)
+        ordering = build(graph, None)
+        assert sorted(ordering, key=repr) == sorted(
+            graph.vertices(), key=repr
+        )
+
+    @pytest.mark.parametrize("build", ALL_BUILDERS)
+    def test_graph_unchanged(self, build):
+        graph = cycle_graph(6)
+        before = graph.copy()
+        build(graph, None)
+        assert graph == before
+
+    @pytest.mark.parametrize("build", ALL_BUILDERS)
+    def test_deterministic_without_rng(self, build):
+        graph = random_gnp(10, 0.5, seed=2)
+        assert build(graph, None) == build(graph, None)
+
+
+class TestQuality:
+    def test_min_fill_is_optimal_on_chordal(self):
+        """A chordal graph admits a perfect elimination ordering; min-fill
+        finds one (width = clique number - 1)."""
+        graph = path_graph(6)
+        assert ordering_width(graph, min_fill_ordering(graph, None)) == 1
+        tri = complete_graph(4)
+        assert ordering_width(tri, min_fill_ordering(tri, None)) == 3
+
+    def test_min_fill_on_cycle(self):
+        graph = cycle_graph(8)
+        assert ordering_width(graph, min_fill_ordering(graph, None)) == 2
+
+    def test_min_fill_grid_close_to_optimal(self):
+        graph = grid_graph(4)
+        width, _ = upper_bound_ordering(graph, "min-fill")
+        assert 4 <= width <= 6
+
+    def test_mcs_on_chordal_is_perfect(self):
+        # a 3-clique chain (chordal): treewidth 2
+        from repro.hypergraphs.graph import Graph
+
+        graph = Graph()
+        for i in range(5):
+            graph.add_clique([i, i + 1, i + 2])
+        ordering = max_cardinality_ordering(graph, None)
+        assert ordering_width(graph, ordering) == 2
+
+    def test_queen5_upper_bound_near_thesis(self):
+        """Thesis Table 5.1: queen5_5 ub = 18 (and tw = 18)."""
+        width, _ = upper_bound_ordering(queen_graph(5), "min-fill")
+        assert 18 <= width <= 21
+
+
+class TestApi:
+    def test_unknown_heuristic(self):
+        with pytest.raises(ValueError):
+            upper_bound_ordering(path_graph(3), "nope")
+
+    def test_heuristic_names(self):
+        assert set(heuristic_names()) == {
+            "min-fill",
+            "min-degree",
+            "min-width",
+            "mcs",
+        }
+
+    def test_restarts_never_hurt(self):
+        graph = random_gnp(14, 0.4, seed=9)
+        rng = random.Random(0)
+        single = treewidth_upper_bound(graph, "min-fill", rng=rng)
+        rng = random.Random(0)
+        multi = treewidth_upper_bound(graph, "min-fill", rng=rng, restarts=5)
+        assert multi <= single
+
+    def test_width_matches_returned_ordering(self):
+        graph = random_gnp(10, 0.5, seed=4)
+        width, ordering = upper_bound_ordering(graph, "min-degree")
+        assert ordering_width(graph, ordering) == width

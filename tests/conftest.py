@@ -1,0 +1,53 @@
+"""Shared fixtures: the thesis's running examples and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.builders import example_5_csp
+from repro.hypergraphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph(vertices=[1, 2, 3], edges=[(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def square() -> Graph:
+    """A 4-cycle: treewidth 2."""
+    return Graph(
+        vertices=[1, 2, 3, 4], edges=[(1, 2), (2, 3), (3, 4), (4, 1)]
+    )
+
+
+@pytest.fixture
+def example5() -> Hypergraph:
+    """The constraint hypergraph of the thesis's Example 5 (ghw 2, tw 3)."""
+    return Hypergraph(
+        {
+            "C1": {"x1", "x2", "x3"},
+            "C2": {"x1", "x5", "x6"},
+            "C3": {"x3", "x4", "x5"},
+        }
+    )
+
+
+@pytest.fixture
+def example5_csp():
+    return example_5_csp()
+
+
+@pytest.fixture
+def figure_2_11() -> Hypergraph:
+    """The hypergraph of Figure 2.11: h1={x1,x2,x3}, h2={x2,x4},
+    h3={x3,x5}, h4={x4,x5,x6} (a 6-vertex cyclic structure)."""
+    return Hypergraph(
+        {
+            "h1": {"x1", "x2", "x3"},
+            "h2": {"x2", "x4"},
+            "h3": {"x3", "x5"},
+            "h4": {"x4", "x5", "x6"},
+        }
+    )

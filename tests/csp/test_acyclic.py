@@ -1,0 +1,163 @@
+"""Tests for join trees, GYO reduction and Acyclic Solving (Figure 2.4)."""
+
+import pytest
+
+from repro.csp.acyclic import (
+    NotAcyclicError,
+    acyclic_solve,
+    gyo_join_tree,
+    is_acyclic,
+    solve_relation_tree,
+)
+from repro.csp.builders import acyclic_chain_csp, example_5_csp
+from repro.csp.backtracking import backtracking_solve
+from repro.csp.problem import Constraint, make_csp
+from repro.csp.relations import Relation
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+class TestAcyclicity:
+    def test_chain_is_acyclic(self):
+        hypergraph = Hypergraph({"a": {1, 2, 3}, "b": {3, 4}, "c": {4, 5}})
+        assert is_acyclic(hypergraph)
+
+    def test_figure_2_3_hypergraph(self):
+        """A hyperedge-covered triangle is alpha-acyclic."""
+        hypergraph = Hypergraph({"big": {1, 2, 3}, "e1": {1, 2}, "e2": {2, 3}})
+        assert is_acyclic(hypergraph)
+
+    def test_plain_triangle_is_cyclic(self):
+        hypergraph = Hypergraph({"e1": {1, 2}, "e2": {2, 3}, "e3": {1, 3}})
+        assert not is_acyclic(hypergraph)
+
+    def test_example5_is_cyclic(self, example5):
+        assert not is_acyclic(example5)
+
+    def test_empty_is_acyclic(self):
+        assert is_acyclic(Hypergraph())
+
+    def test_join_tree_parent_map_is_a_tree(self):
+        hypergraph = Hypergraph(
+            {"a": {1, 2}, "b": {2, 3}, "c": {3, 4}, "d": {2, 5}}
+        )
+        parent = gyo_join_tree(hypergraph)
+        roots = [name for name, up in parent.items() if up is None]
+        assert len(roots) == 1
+        assert set(parent) == set(hypergraph.edge_names())
+
+    def test_join_tree_connectedness_property(self):
+        """Vertices induce connected subtrees of the join tree."""
+        hypergraph = Hypergraph(
+            {"a": {1, 2, 3}, "b": {2, 3, 4}, "c": {4, 5}, "d": {3, 6}}
+        )
+        parent = gyo_join_tree(hypergraph)
+
+        def path_to_root(name):
+            path = [name]
+            while parent[path[-1]] is not None:
+                path.append(parent[path[-1]])
+            return path
+
+        for vertex in hypergraph.vertices():
+            holders = hypergraph.edges_containing(vertex)
+            # every node on the path between two holders also holds it
+            for a in holders:
+                for b in holders:
+                    pa, pb = path_to_root(a), path_to_root(b)
+                    shared = next(x for x in pa if x in pb)
+                    walk = (
+                        pa[: pa.index(shared) + 1]
+                        + pb[: pb.index(shared)]
+                    )
+                    for node in walk:
+                        assert vertex in hypergraph.edge(node), (
+                            f"join tree connectedness broken at {node}"
+                        )
+
+    def test_cyclic_raises(self):
+        hypergraph = Hypergraph({"e1": {1, 2}, "e2": {2, 3}, "e3": {1, 3}})
+        with pytest.raises(NotAcyclicError):
+            gyo_join_tree(hypergraph)
+
+
+class TestAcyclicSolve:
+    def test_chain_csp(self):
+        csp = acyclic_chain_csp(4)
+        solution = acyclic_solve(csp)
+        assert solution is not None
+        assert csp.is_solution(solution)
+
+    def test_matches_backtracking_satisfiability(self):
+        for length in (1, 2, 3, 5):
+            csp = acyclic_chain_csp(length)
+            direct = backtracking_solve(csp)
+            acyclic = acyclic_solve(csp)
+            assert (direct is None) == (acyclic is None)
+
+    def test_unsatisfiable_detected(self):
+        constraints = [
+            Constraint.make("force1", ("a",), [(1,)]),
+            Constraint.make("force2", ("a", "b"), [(2, 2)]),
+        ]
+        csp = make_csp({"a": [1, 2], "b": [2]}, constraints)
+        assert acyclic_solve(csp) is None
+
+    def test_cyclic_csp_raises(self):
+        with pytest.raises(NotAcyclicError):
+            acyclic_solve(example_5_csp())
+
+    def test_unconstrained_variables_get_values(self):
+        csp = make_csp(
+            {"a": [1], "free": [7, 8]},
+            [Constraint.make("c", ("a",), [(1,)])],
+        )
+        solution = acyclic_solve(csp)
+        assert solution is not None
+        assert solution["free"] in (7, 8)
+
+
+class TestSolveRelationTree:
+    def test_single_node(self):
+        relations = {"r": Relation.make(("a",), [(1,), (2,)])}
+        assignment = solve_relation_tree(relations, {"r": None})
+        assert assignment in ({"a": 1}, {"a": 2})
+
+    def test_bottom_up_prunes(self):
+        relations = {
+            "parent": Relation.make(("a", "b"), [(1, 1), (2, 2)]),
+            "child": Relation.make(("b", "c"), [(2, 9)]),
+        }
+        assignment = solve_relation_tree(
+            relations, {"parent": None, "child": "parent"}
+        )
+        assert assignment == {"a": 2, "b": 2, "c": 9}
+
+    def test_empty_after_semijoin(self):
+        relations = {
+            "parent": Relation.make(("a",), [(1,)]),
+            "child": Relation.make(("a",), [(2,)]),
+        }
+        assert (
+            solve_relation_tree(
+                relations, {"parent": None, "child": "parent"}
+            )
+            is None
+        )
+
+    def test_forest_components_combine(self):
+        relations = {
+            "left": Relation.make(("a",), [(1,)]),
+            "right": Relation.make(("b",), [(2,)]),
+        }
+        assignment = solve_relation_tree(
+            relations, {"left": None, "right": None}
+        )
+        assert assignment == {"a": 1, "b": 2}
+
+    def test_cycle_in_parent_map_rejected(self):
+        relations = {
+            "a": Relation.make(("x",), [(1,)]),
+            "b": Relation.make(("x",), [(1,)]),
+        }
+        with pytest.raises(ValueError):
+            solve_relation_tree(relations, {"a": "b", "b": "a"})

@@ -1,0 +1,91 @@
+"""Tests for Adaptive Consistency (bucket-elimination CSP solving)."""
+
+import pytest
+
+from repro.csp.adaptive_consistency import adaptive_consistency
+from repro.csp.backtracking import backtracking_solve
+from repro.csp.builders import (
+    australia_map_coloring,
+    example_5_csp,
+    graph_coloring_csp,
+    n_queens_csp,
+    random_binary_csp,
+    sat_csp,
+)
+from repro.csp.problem import Constraint, make_csp
+from repro.hypergraphs.graph import cycle_graph
+
+
+class TestSolving:
+    def test_example_5(self):
+        csp = example_5_csp()
+        solution = adaptive_consistency(csp)
+        assert solution is not None
+        assert csp.is_solution(solution)
+
+    def test_australia(self):
+        csp = australia_map_coloring()
+        solution = adaptive_consistency(csp)
+        assert csp.is_solution(solution)
+
+    def test_sat(self):
+        csp = sat_csp([[-1, 2, 3], [1, -4], [-3, -5]])
+        solution = adaptive_consistency(csp)
+        assert csp.is_solution(solution)
+
+    def test_unsat_odd_cycle(self):
+        csp = graph_coloring_csp(cycle_graph(5), colors=2)
+        assert adaptive_consistency(csp) is None
+
+    def test_queens(self):
+        csp = n_queens_csp(5)
+        solution = adaptive_consistency(csp)
+        assert csp.is_solution(solution)
+
+    def test_three_queens_unsat(self):
+        assert adaptive_consistency(n_queens_csp(3)) is None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_backtracking(self, seed):
+        csp = random_binary_csp(
+            6, 3, density=0.5, tightness=0.45, seed=seed
+        )
+        direct = backtracking_solve(csp)
+        via_buckets = adaptive_consistency(csp)
+        assert (direct is None) == (via_buckets is None)
+        if via_buckets is not None:
+            assert csp.is_solution(via_buckets)
+
+    def test_unconstrained_variables(self):
+        csp = make_csp(
+            {"a": [1, 2], "free": [7]},
+            [Constraint.make("c", ("a",), [(2,)])],
+        )
+        solution = adaptive_consistency(csp)
+        assert solution == {"a": 2, "free": 7}
+
+
+class TestOrderings:
+    def test_explicit_ordering(self):
+        csp = example_5_csp()
+        ordering = ["x2", "x6", "x4", "x1", "x3", "x5"]
+        solution = adaptive_consistency(csp, ordering)
+        assert csp.is_solution(solution)
+
+    def test_any_ordering_is_correct(self):
+        """Width affects cost, never correctness."""
+        import itertools
+
+        csp = graph_coloring_csp(cycle_graph(4), colors=2)
+        variables = sorted(csp.domains, key=repr)
+        for ordering in itertools.islice(
+            itertools.permutations(variables), 8
+        ):
+            solution = adaptive_consistency(csp, list(ordering))
+            assert solution is not None
+            assert csp.is_solution(solution)
+
+    def test_bad_ordering_rejected(self):
+        csp = example_5_csp()
+        with pytest.raises(ValueError):
+            adaptive_consistency(csp, ["x1", "x2"])

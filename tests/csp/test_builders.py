@@ -1,0 +1,121 @@
+"""Tests for the ready-made CSP builders."""
+
+import pytest
+
+from repro.csp.backtracking import backtracking_solve
+from repro.csp.builders import (
+    acyclic_chain_csp,
+    australia_map_coloring,
+    example_5_csp,
+    graph_coloring_csp,
+    n_queens_csp,
+    random_binary_csp,
+    sat_csp,
+)
+from repro.csp.acyclic import is_acyclic
+from repro.hypergraphs.graph import complete_graph
+
+
+class TestAustralia:
+    def test_shape(self):
+        csp = australia_map_coloring()
+        assert len(csp.domains) == 7
+        assert len(csp.constraints) == 9
+
+    def test_known_solution_from_thesis(self):
+        csp = australia_map_coloring()
+        assert csp.is_solution(
+            {
+                "WA": "r", "NT": "g", "SA": "b", "Q": "r",
+                "NSW": "g", "V": "r", "TAS": "g",
+            }
+        )
+
+
+class TestSat:
+    def test_clause_relations_exclude_falsifying_row(self):
+        csp = sat_csp([[1, 2]])
+        relation = csp.constraint("clause0").relation
+        assert (False, False) not in relation.tuples
+        assert len(relation) == 3
+
+    def test_unit_clauses(self):
+        csp = sat_csp([[1], [-2]])
+        solution = backtracking_solve(csp)
+        assert solution == {"x1": True, "x2": False}
+
+    def test_extra_variables_declared(self):
+        csp = sat_csp([[1]], variables=3)
+        assert len(csp.domains) == 3
+
+    def test_duplicate_literal_rejected(self):
+        with pytest.raises(ValueError):
+            sat_csp([[1, 1]])
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ValueError):
+            sat_csp([])
+
+
+class TestGraphColoring:
+    def test_k4_needs_4_colors(self):
+        graph = complete_graph(4)
+        assert backtracking_solve(graph_coloring_csp(graph, 3)) is None
+        assert backtracking_solve(graph_coloring_csp(graph, 4)) is not None
+
+
+class TestQueens:
+    def test_shapes(self):
+        csp = n_queens_csp(4)
+        assert len(csp.domains) == 4
+        assert len(csp.constraints) == 6
+
+    def test_three_queens_unsat(self):
+        assert backtracking_solve(n_queens_csp(3)) is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            n_queens_csp(0)
+
+
+class TestRandomBinary:
+    def test_reproducible(self):
+        a = random_binary_csp(6, 3, 0.5, 0.3, seed=1)
+        b = random_binary_csp(6, 3, 0.5, 0.3, seed=1)
+        assert [c.relation.tuples for c in a.constraints] == [
+            c.relation.tuples for c in b.constraints
+        ]
+
+    def test_density_zero_means_no_constraints(self):
+        csp = random_binary_csp(5, 3, 0.0, 0.5, seed=0)
+        assert not csp.constraints
+
+    def test_tightness_zero_allows_everything(self):
+        csp = random_binary_csp(5, 3, 1.0, 0.0, seed=0)
+        for constraint in csp.constraints:
+            assert len(constraint.relation) == 9
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_binary_csp(5, 3, 1.5, 0.5)
+
+
+class TestChain:
+    def test_is_acyclic(self):
+        csp = acyclic_chain_csp(5)
+        assert is_acyclic(csp.constraint_hypergraph())
+
+    def test_solvable(self):
+        csp = acyclic_chain_csp(3)
+        solution = backtracking_solve(csp)
+        assert solution is not None and csp.is_solution(solution)
+
+
+class TestExample5:
+    def test_matches_thesis_statement(self):
+        csp = example_5_csp()
+        assert len(csp.domains) == 6
+        assert csp.domains["x1"] == frozenset({"a", "b"})
+        assert len(csp.constraint("C1").relation) == 3
+        assert len(csp.constraint("C2").relation) == 2
+        assert len(csp.constraint("C3").relation) == 2

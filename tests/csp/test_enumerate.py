@@ -1,0 +1,96 @@
+"""Tests for all-solutions enumeration from decompositions."""
+
+import pytest
+
+from repro.core.api import decompose, decompose_graph
+from repro.csp.backtracking import iterate_solutions
+from repro.csp.builders import (
+    australia_map_coloring,
+    example_5_csp,
+    graph_coloring_csp,
+    n_queens_csp,
+    random_binary_csp,
+)
+from repro.csp.enumerate import (
+    count_solutions_with_ghd,
+    enumerate_with_ghd,
+    enumerate_with_tree_decomposition,
+)
+from repro.hypergraphs.graph import cycle_graph
+
+
+def canonical(solutions):
+    return sorted(tuple(sorted(s.items(), key=repr)) for s in solutions)
+
+
+def td_of(csp):
+    hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+    return decompose_graph(hypergraph.primal_graph(), algorithm="min-fill")
+
+
+def ghd_of(csp):
+    return decompose(
+        csp.constraint_hypergraph(include_unconstrained=False),
+        algorithm="bb",
+    )
+
+
+class TestAgainstBacktracking:
+    def test_example_5_full_solution_set(self):
+        csp = example_5_csp()
+        direct = canonical(iterate_solutions(csp))
+        via_td = canonical(enumerate_with_tree_decomposition(csp, td_of(csp)))
+        via_ghd = canonical(enumerate_with_ghd(csp, ghd_of(csp)))
+        assert direct == via_td == via_ghd
+        assert direct  # satisfiable
+
+    def test_australia_with_free_variable(self):
+        """TAS is unconstrained: every mainland colouring triples."""
+        csp = australia_map_coloring()
+        direct = canonical(iterate_solutions(csp))
+        via_ghd = canonical(enumerate_with_ghd(csp, ghd_of(csp)))
+        assert direct == via_ghd
+        assert len(direct) == 18
+
+    def test_four_queens_has_two_solutions(self):
+        csp = n_queens_csp(4)
+        assert count_solutions_with_ghd(csp, ghd_of(csp)) == 2
+
+    def test_unsatisfiable_enumerates_nothing(self):
+        csp = graph_coloring_csp(cycle_graph(5), colors=2)
+        assert list(enumerate_with_ghd(csp, ghd_of(csp))) == []
+        assert list(
+            enumerate_with_tree_decomposition(csp, td_of(csp))
+        ) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_csps_same_counts(self, seed):
+        csp = random_binary_csp(
+            5, 3, density=0.5, tightness=0.4, seed=seed + 300
+        )
+        direct = canonical(iterate_solutions(csp))
+        via_td = canonical(
+            enumerate_with_tree_decomposition(csp, td_of(csp))
+        )
+        via_ghd = canonical(enumerate_with_ghd(csp, ghd_of(csp)))
+        assert direct == via_td == via_ghd
+
+
+class TestStreamProperties:
+    def test_no_duplicates(self):
+        csp = example_5_csp()
+        solutions = list(enumerate_with_ghd(csp, ghd_of(csp)))
+        assert len(canonical(solutions)) == len(set(canonical(solutions)))
+
+    def test_all_yields_are_solutions(self):
+        csp = australia_map_coloring()
+        for solution in enumerate_with_ghd(csp, ghd_of(csp)):
+            assert csp.is_solution(solution)
+
+    def test_lazy_evaluation(self):
+        """The generator produces the first solution without exhausting
+        the space (take one from a large instance)."""
+        csp = graph_coloring_csp(cycle_graph(12), colors=3)
+        stream = enumerate_with_tree_decomposition(csp, td_of(csp))
+        first = next(stream)
+        assert csp.is_solution(first)

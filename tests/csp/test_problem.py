@@ -1,0 +1,87 @@
+"""Tests for CSP problems and constraint hypergraphs."""
+
+import pytest
+
+from repro.csp.builders import australia_map_coloring, example_5_csp, sat_csp
+from repro.csp.problem import CSP, Constraint, make_csp
+
+
+class TestConstraint:
+    def test_scope_and_satisfaction(self):
+        constraint = Constraint.make("c", ("a", "b"), [(1, 2), (2, 1)])
+        assert constraint.scope == ("a", "b")
+        assert constraint.satisfied_by({"a": 1, "b": 2})
+        assert not constraint.satisfied_by({"a": 1, "b": 1})
+
+
+class TestCSP:
+    def test_duplicate_constraint_names(self):
+        c = Constraint.make("c", ("a",), [(1,)])
+        with pytest.raises(ValueError):
+            make_csp({"a": [1]}, [c, c])
+
+    def test_unknown_variable_in_scope(self):
+        c = Constraint.make("c", ("zz",), [(1,)])
+        with pytest.raises(ValueError):
+            make_csp({"a": [1]}, [c])
+
+    def test_constraint_lookup(self):
+        csp = example_5_csp()
+        assert csp.constraint("C1").scope == ("x1", "x2", "x3")
+        with pytest.raises(KeyError):
+            csp.constraint("zzz")
+
+    def test_is_solution_example_5(self):
+        """The thesis's printed solution of Example 5."""
+        csp = example_5_csp()
+        solution = {
+            "x1": "a", "x2": "b", "x3": "c",
+            "x4": "b", "x5": "c", "x6": "b",
+        }
+        assert csp.is_solution(solution)
+
+    def test_incomplete_assignment_rejected(self):
+        csp = example_5_csp()
+        assert not csp.is_solution({"x1": "a"})
+
+    def test_out_of_domain_value_rejected(self):
+        csp = example_5_csp()
+        solution = {
+            "x1": "z", "x2": "b", "x3": "c",
+            "x4": "b", "x5": "c", "x6": "b",
+        }
+        assert not csp.is_solution(solution)
+
+    def test_max_domain_size(self):
+        assert example_5_csp().max_domain_size() == 2
+        assert australia_map_coloring().max_domain_size() == 3
+
+
+class TestConstraintHypergraph:
+    def test_example_5(self):
+        hypergraph = example_5_csp().constraint_hypergraph()
+        assert hypergraph.num_vertices() == 6
+        assert hypergraph.num_edges() == 3
+        assert hypergraph.edge("C2") == {"x1", "x5", "x6"}
+
+    def test_australia_is_a_graph(self):
+        """Example 3: only binary constraints -> primal = structure."""
+        hypergraph = australia_map_coloring().constraint_hypergraph()
+        assert all(len(edge) == 2 for edge in hypergraph.edge_sets())
+        assert hypergraph.num_edges() == 9
+
+    def test_sat_example_2(self):
+        """Example 2's formula: three clauses over five variables."""
+        csp = sat_csp([[-1, 2, 3], [1, -4], [-3, -5]])
+        hypergraph = csp.constraint_hypergraph()
+        assert hypergraph.num_vertices() == 5
+        assert hypergraph.num_edges() == 3
+        assert hypergraph.edge("clause0") == {"x1", "x2", "x3"}
+
+    def test_unconstrained_variable_is_isolated_vertex(self):
+        csp = make_csp({"a": [1], "b": [1]}, [
+            Constraint.make("c", ("a",), [(1,)])
+        ])
+        hypergraph = csp.constraint_hypergraph()
+        assert "b" in hypergraph
+        assert hypergraph.edges_containing("b") == []

@@ -1,0 +1,130 @@
+"""Tests for the relational algebra substrate."""
+
+import pytest
+
+from repro.csp.relations import Relation, join_all
+
+
+def rel(schema, rows):
+    return Relation.make(schema, rows)
+
+
+class TestConstruction:
+    def test_make(self):
+        relation = rel(("a", "b"), [(1, 2), (3, 4)])
+        assert len(relation) == 2
+        assert (1, 2) in relation
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(ValueError):
+            rel(("a", "a"), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rel(("a", "b"), [(1,)])
+
+    def test_full(self):
+        relation = Relation.full("x", [1, 2, 3])
+        assert len(relation) == 3
+
+    def test_empty(self):
+        assert Relation.empty(("a",)).is_empty()
+
+    def test_as_dicts(self):
+        relation = rel(("a", "b"), [(1, 2)])
+        assert relation.as_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestProjection:
+    def test_basic(self):
+        relation = rel(("a", "b", "c"), [(1, 2, 3), (1, 2, 4)])
+        projected = relation.project(("a", "b"))
+        assert projected.schema == ("a", "b")
+        assert len(projected) == 1  # duplicates collapse
+
+    def test_reorders(self):
+        relation = rel(("a", "b"), [(1, 2)])
+        assert relation.project(("b", "a")).tuples == frozenset({(2, 1)})
+
+    def test_absent_variable(self):
+        with pytest.raises(KeyError):
+            rel(("a",), [(1,)]).project(("z",))
+
+
+class TestSelect:
+    def test_filters_on_assignment(self):
+        relation = rel(("a", "b"), [(1, 2), (1, 3), (2, 2)])
+        assert len(relation.select({"a": 1})) == 2
+        assert len(relation.select({"a": 1, "b": 3})) == 1
+
+    def test_ignores_foreign_variables(self):
+        relation = rel(("a",), [(1,), (2,)])
+        assert len(relation.select({"z": 5})) == 2
+
+
+class TestJoin:
+    def test_natural_join(self):
+        left = rel(("a", "b"), [(1, 2), (2, 3)])
+        right = rel(("b", "c"), [(2, 9), (2, 8), (7, 7)])
+        joined = left.join(right)
+        assert joined.schema == ("a", "b", "c")
+        assert joined.tuples == frozenset({(1, 2, 9), (1, 2, 8)})
+
+    def test_cartesian_when_disjoint(self):
+        left = rel(("a",), [(1,), (2,)])
+        right = rel(("b",), [(7,), (8,)])
+        assert len(left.join(right)) == 4
+
+    def test_join_with_empty(self):
+        left = rel(("a", "b"), [(1, 2)])
+        assert left.join(Relation.empty(("b", "c"))).is_empty()
+
+    def test_join_all_identity(self):
+        unit = join_all([])
+        assert unit.schema == ()
+        assert len(unit) == 1
+
+    def test_join_all_folds(self):
+        r1 = rel(("a", "b"), [(1, 2)])
+        r2 = rel(("b", "c"), [(2, 3)])
+        r3 = rel(("c", "d"), [(3, 4)])
+        joined = join_all([r1, r2, r3])
+        assert joined.tuples == frozenset({(1, 2, 3, 4)})
+
+    def test_join_is_commutative_up_to_schema(self):
+        left = rel(("a", "b"), [(1, 2), (2, 2)])
+        right = rel(("b", "c"), [(2, 5)])
+        one = left.join(right)
+        other = right.join(left)
+        assert one.project(("a", "b", "c")).tuples == other.project(
+            ("a", "b", "c")
+        ).tuples
+
+
+class TestSemijoin:
+    def test_keeps_matching_rows(self):
+        left = rel(("a", "b"), [(1, 2), (2, 3)])
+        right = rel(("b",), [(2,)])
+        reduced = left.semijoin(right)
+        assert reduced.schema == ("a", "b")
+        assert reduced.tuples == frozenset({(1, 2)})
+
+    def test_no_shared_variables(self):
+        left = rel(("a",), [(1,)])
+        assert not left.semijoin(rel(("z",), [(9,)])).is_empty()
+        assert left.semijoin(Relation.empty(("z",))).is_empty()
+
+    def test_semijoin_equals_join_project(self):
+        left = rel(("a", "b"), [(1, 2), (2, 3), (4, 4)])
+        right = rel(("b", "c"), [(2, 1), (4, 0)])
+        direct = left.semijoin(right)
+        via_join = left.join(right).project(("a", "b"))
+        assert direct.tuples == via_join.tuples
+
+
+class TestRename:
+    def test_rename(self):
+        relation = rel(("a", "b"), [(1, 2)])
+        renamed = relation.rename({"a": "x"})
+        assert renamed.schema == ("x", "b")
+        assert renamed.tuples == relation.tuples

@@ -1,0 +1,133 @@
+"""Integration tests: solving CSPs from decompositions (Section 2.4)."""
+
+import pytest
+
+from repro.core.api import decompose, decompose_graph
+from repro.csp.backtracking import backtracking_solve
+from repro.csp.builders import (
+    australia_map_coloring,
+    example_5_csp,
+    graph_coloring_csp,
+    random_binary_csp,
+    sat_csp,
+)
+from repro.csp.solve import solve_with_ghd, solve_with_tree_decomposition
+from repro.decompositions.elimination import (
+    ordering_to_ghd,
+    ordering_to_tree_decomposition,
+)
+from repro.decompositions.tree_decomposition import (
+    DecompositionError,
+    TreeDecomposition,
+)
+from repro.hypergraphs.graph import cycle_graph
+
+
+def td_of(csp):
+    hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+    return decompose_graph(hypergraph.primal_graph(), algorithm="min-fill")
+
+
+def ghd_of(csp):
+    return decompose(
+        csp.constraint_hypergraph(include_unconstrained=False),
+        algorithm="bb",
+    )
+
+
+class TestTreeDecompositionSolving:
+    def test_example_5(self):
+        csp = example_5_csp()
+        solution = solve_with_tree_decomposition(csp, td_of(csp))
+        assert solution is not None
+        assert csp.is_solution(solution)
+
+    def test_australia(self):
+        csp = australia_map_coloring()
+        solution = solve_with_tree_decomposition(csp, td_of(csp))
+        assert csp.is_solution(solution)
+
+    def test_sat(self):
+        csp = sat_csp([[-1, 2, 3], [1, -4], [-3, -5]])
+        solution = solve_with_tree_decomposition(csp, td_of(csp))
+        assert csp.is_solution(solution)
+
+    def test_unsatisfiable_2_coloring_of_odd_cycle(self):
+        csp = graph_coloring_csp(cycle_graph(5), colors=2)
+        assert solve_with_tree_decomposition(csp, td_of(csp)) is None
+
+    def test_satisfiable_3_coloring_of_odd_cycle(self):
+        csp = graph_coloring_csp(cycle_graph(5), colors=3)
+        solution = solve_with_tree_decomposition(csp, td_of(csp))
+        assert csp.is_solution(solution)
+
+    def test_invalid_decomposition_rejected(self):
+        csp = example_5_csp()
+        bad = TreeDecomposition()
+        bad.add_node({"x1"})
+        with pytest.raises(DecompositionError):
+            solve_with_tree_decomposition(csp, bad)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_backtracking_on_random_csps(self, seed):
+        csp = random_binary_csp(
+            6, 3, density=0.5, tightness=0.4, seed=seed
+        )
+        direct = backtracking_solve(csp)
+        via_td = solve_with_tree_decomposition(csp, td_of(csp))
+        assert (direct is None) == (via_td is None)
+        if via_td is not None:
+            assert csp.is_solution(via_td)
+
+
+class TestGhdSolving:
+    def test_example_5_figure_2_9(self):
+        csp = example_5_csp()
+        solution = solve_with_ghd(csp, ghd_of(csp))
+        assert solution is not None
+        assert csp.is_solution(solution)
+
+    def test_australia(self):
+        csp = australia_map_coloring()
+        solution = solve_with_ghd(csp, ghd_of(csp))
+        assert csp.is_solution(solution)
+
+    def test_unsatisfiable(self):
+        csp = graph_coloring_csp(cycle_graph(7), colors=2)
+        assert solve_with_ghd(csp, ghd_of(csp)) is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_backtracking_on_random_csps(self, seed):
+        csp = random_binary_csp(
+            6, 3, density=0.5, tightness=0.5, seed=seed + 40
+        )
+        direct = backtracking_solve(csp)
+        via_ghd = solve_with_ghd(csp, ghd_of(csp))
+        assert (direct is None) == (via_ghd is None)
+        if via_ghd is not None:
+            assert csp.is_solution(via_ghd)
+
+    def test_handmade_ordering_ghd_works_too(self):
+        csp = example_5_csp()
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        ordering = sorted(hypergraph.vertices())
+        ghd = ordering_to_ghd(hypergraph, ordering, cover="exact")
+        solution = solve_with_ghd(csp, ghd)
+        assert csp.is_solution(solution)
+
+
+class TestAgreementBetweenPipelines:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_td_and_ghd_agree(self, seed):
+        csp = random_binary_csp(
+            5, 3, density=0.6, tightness=0.45, seed=seed + 77
+        )
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        ordering = sorted(hypergraph.vertices())
+        td = ordering_to_tree_decomposition(
+            hypergraph.primal_graph(), ordering
+        )
+        ghd = ordering_to_ghd(hypergraph, ordering, cover="greedy")
+        via_td = solve_with_tree_decomposition(csp, td)
+        via_ghd = solve_with_ghd(csp, ghd)
+        assert (via_td is None) == (via_ghd is None)

@@ -1,0 +1,101 @@
+"""Tests for decomposition serialisation (PACE .td and the GHD format)."""
+
+import pytest
+
+from repro.core.api import decompose, decompose_graph
+from repro.decompositions.io import (
+    format_ghd,
+    format_tree_decomposition,
+    parse_ghd,
+    parse_tree_decomposition,
+    read_ghd,
+    read_tree_decomposition,
+    write_ghd,
+    write_tree_decomposition,
+)
+from repro.hypergraphs.io import FormatError
+from repro.instances.dimacs_like import grid_graph
+from repro.instances.hypergraphs import adder
+
+
+class TestTreeDecompositionFormat:
+    def test_roundtrip_structure(self, tmp_path):
+        graph = grid_graph(3)
+        decomposition = decompose_graph(graph, algorithm="min-fill")
+        path = tmp_path / "grid.td"
+        write_tree_decomposition(decomposition, path)
+        loaded = read_tree_decomposition(path)
+        assert loaded.num_nodes() == decomposition.num_nodes()
+        assert loaded.width() == decomposition.width()
+        assert loaded.is_tree()
+
+    def test_header_counts(self):
+        graph = grid_graph(2)
+        decomposition = decompose_graph(graph, algorithm="min-fill")
+        text = format_tree_decomposition(decomposition)
+        solution = next(
+            line for line in text.splitlines() if line.startswith("s td")
+        )
+        _s, _td, bags, max_bag, vertices = solution.split()
+        assert int(bags) == decomposition.num_nodes()
+        assert int(max_bag) == decomposition.width() + 1
+        assert int(vertices) == graph.num_vertices()
+
+    def test_parse_minimal(self):
+        text = "s td 2 2 3\nb 1 1 2\nb 2 2 3\n1 2\n"
+        decomposition = parse_tree_decomposition(text)
+        assert decomposition.num_nodes() == 2
+        assert decomposition.bags[1] == {1, 2}
+        assert decomposition.is_tree()
+
+    def test_bag_count_mismatch(self):
+        with pytest.raises(FormatError):
+            parse_tree_decomposition("s td 3 2 2\nb 1 1 2\n")
+
+    def test_bag_before_header(self):
+        with pytest.raises(FormatError):
+            parse_tree_decomposition("b 1 1 2\ns td 1 2 2\n")
+
+    def test_comments_ignored(self):
+        text = "c hello\ns td 1 2 2\nb 1 1 2\n"
+        assert parse_tree_decomposition(text).num_nodes() == 1
+
+
+class TestGhdFormat:
+    def test_roundtrip(self, tmp_path, example5):
+        ghd = decompose(example5, algorithm="bb")
+        path = tmp_path / "ex5.ghd"
+        write_ghd(ghd, path)
+        loaded = read_ghd(path)
+        assert loaded.width() == ghd.width()
+        assert loaded.tree.num_nodes() == ghd.tree.num_nodes()
+        # vertices come back as strings; example5 vertices already are
+        loaded.validate(example5)
+
+    def test_header_records_width(self, example5):
+        ghd = decompose(example5, algorithm="bb")
+        text = format_ghd(ghd)
+        header = next(
+            line for line in text.splitlines() if line.startswith("s ghd")
+        )
+        assert header.split()[-1] == str(ghd.width())
+
+    def test_adder_roundtrip(self, tmp_path):
+        hypergraph = adder(3)
+        ghd = decompose(hypergraph, algorithm="min-fill", cover="greedy")
+        path = tmp_path / "adder.ghd"
+        write_ghd(ghd, path)
+        loaded = read_ghd(path)
+        loaded.validate(hypergraph)
+        assert loaded.width() == ghd.width()
+
+    def test_missing_lambda_rejected(self):
+        text = "s ghd 1 2 2 1\nb 1 a b\n"
+        with pytest.raises(FormatError):
+            parse_ghd(text)
+
+    def test_parse_minimal(self):
+        text = "s ghd 2 2 3 1\nb 1 a b\nl 1 e1\nb 2 b c\nl 2 e2\n1 2\n"
+        ghd = parse_ghd(text)
+        assert ghd.width() == 1
+        assert ghd.covers[2] == {"e2"}

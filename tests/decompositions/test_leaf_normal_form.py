@@ -1,0 +1,156 @@
+"""Tests for the chapter-3 theory: leaf normal form and ordering extraction.
+
+The load-bearing claims (Theorems 1-3) are checked constructively:
+
+* the transformation output is a valid tree decomposition in leaf normal
+  form whose bags embed into the original's bags (Theorem 1),
+* the extracted ordering's bags embed into the normal form's bags
+  (Lemma 13),
+* consequently the exact-cover width of the extracted ordering never
+  exceeds the width of the GHD we started from (Theorem 2) — i.e.
+  elimination orderings are a complete search space for ghw.
+"""
+
+import random
+
+import pytest
+
+from repro.decompositions.elimination import (
+    elimination_bags,
+    ordering_ghw,
+    ordering_to_ghd,
+)
+from repro.decompositions.leaf_normal_form import (
+    extract_ordering,
+    is_leaf_normal_form,
+    ordering_from_leaf_normal_form,
+    transform_leaf_normal_form,
+)
+from repro.decompositions.tree_decomposition import (
+    DecompositionError,
+    TreeDecomposition,
+    trivial_decomposition,
+)
+from repro.instances.hypergraphs import random_csp_hypergraph
+
+
+def bags_embed(inner: TreeDecomposition, outer: TreeDecomposition) -> bool:
+    """Every bag of ``inner`` fits inside some bag of ``outer``."""
+    outer_bags = list(outer.bags.values())
+    return all(
+        any(bag <= candidate for candidate in outer_bags)
+        for bag in inner.bags.values()
+    )
+
+
+class TestTransform:
+    def test_trivial_decomposition(self, example5):
+        decomposition = trivial_decomposition(example5)
+        normal, leaf_of = transform_leaf_normal_form(decomposition, example5)
+        normal.validate(example5)
+        assert is_leaf_normal_form(normal, example5, leaf_of)
+        assert bags_embed(normal, decomposition)
+
+    def test_figure_3_2_style(self, figure_2_11):
+        decomposition = trivial_decomposition(figure_2_11)
+        normal, leaf_of = transform_leaf_normal_form(
+            decomposition, figure_2_11
+        )
+        # one leaf per hyperedge with chi(leaf) = the hyperedge
+        assert len(leaf_of) == figure_2_11.num_edges()
+        for name, leaf in leaf_of.items():
+            assert normal.bags[leaf] == set(figure_2_11.edge(name))
+
+    def test_real_decomposition(self, example5):
+        decomposition = TreeDecomposition()
+        a = decomposition.add_node({"x1", "x2", "x3"})
+        b = decomposition.add_node({"x1", "x3", "x5"})
+        c = decomposition.add_node({"x3", "x4", "x5"})
+        d = decomposition.add_node({"x1", "x5", "x6"})
+        decomposition.add_edge(a, b)
+        decomposition.add_edge(b, c)
+        decomposition.add_edge(b, d)
+        normal, leaf_of = transform_leaf_normal_form(decomposition, example5)
+        normal.validate(example5)
+        assert is_leaf_normal_form(normal, example5, leaf_of)
+        assert bags_embed(normal, decomposition)
+
+    def test_invalid_decomposition_rejected(self, example5):
+        bad = TreeDecomposition()
+        bad.add_node({"x1", "x2"})  # C1 fits nowhere
+        with pytest.raises(DecompositionError):
+            transform_leaf_normal_form(bad, example5)
+
+    def test_random_instances(self):
+        for seed in range(8):
+            hypergraph = random_csp_hypergraph(
+                7, 5, arity=3, seed=seed
+            )
+            ordering = sorted(hypergraph.vertices())
+            ghd = ordering_to_ghd(hypergraph, ordering, cover="greedy")
+            normal, leaf_of = transform_leaf_normal_form(
+                ghd.tree, hypergraph
+            )
+            normal.validate(hypergraph)
+            assert is_leaf_normal_form(normal, hypergraph, leaf_of)
+            assert bags_embed(normal, ghd.tree)
+
+
+class TestOrderingExtraction:
+    def test_lemma_13_bag_embedding(self, example5):
+        decomposition = trivial_decomposition(example5)
+        normal, _ = transform_leaf_normal_form(decomposition, example5)
+        ordering = ordering_from_leaf_normal_form(normal, example5)
+        bags = elimination_bags(example5.primal_graph(), ordering)
+        normal_bags = list(normal.bags.values())
+        for bag in bags.values():
+            assert any(bag <= candidate for candidate in normal_bags)
+
+    def test_theorem_2_width_never_worse(self):
+        """Extracted ordering's exact-cover width <= source GHD width."""
+        rng = random.Random(0)
+        for seed in range(10):
+            hypergraph = random_csp_hypergraph(8, 6, arity=3, seed=seed)
+            scrambled = sorted(hypergraph.vertices())
+            rng.shuffle(scrambled)
+            ghd = ordering_to_ghd(hypergraph, scrambled, cover="exact")
+            extracted = extract_ordering(ghd.tree, hypergraph)
+            assert set(extracted) == hypergraph.vertices()
+            assert (
+                ordering_ghw(hypergraph, extracted, cover="exact")
+                <= ghd.width()
+            )
+
+    def test_extracted_is_permutation(self, example5):
+        ordering = extract_ordering(
+            trivial_decomposition(example5), example5
+        )
+        assert sorted(ordering) == sorted(example5.vertices())
+
+    def test_depth_ordering_property(self, example5):
+        """Deeper dca vertices must be eliminated earlier."""
+        decomposition = trivial_decomposition(example5)
+        normal, _ = transform_leaf_normal_form(decomposition, example5)
+        ordering = ordering_from_leaf_normal_form(normal, example5)
+        depths = normal.depths()
+        leaves = set(normal.leaves())
+
+        def dca_depth(vertex):
+            holders = [
+                leaf for leaf in leaves if vertex in normal.bags[leaf]
+            ]
+            parents = normal.parent_map()
+
+            def up(node):
+                return parents[node]
+
+            current = set(holders)
+            # climb all to equal depth then together
+            nodes = list(holders)
+            while len(set(nodes)) > 1:
+                deepest = max(nodes, key=lambda n: depths[n])
+                nodes[nodes.index(deepest)] = up(deepest)
+            return depths[nodes[0]]
+
+        observed = [dca_depth(v) for v in ordering]
+        assert observed == sorted(observed, reverse=True)

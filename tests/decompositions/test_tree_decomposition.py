@@ -1,0 +1,147 @@
+"""Tests for tree decompositions (Definition 11)."""
+
+import pytest
+
+from repro.decompositions.tree_decomposition import (
+    DecompositionError,
+    TreeDecomposition,
+    trivial_decomposition,
+)
+from repro.hypergraphs.graph import complete_graph, path_graph
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+def path_decomposition() -> TreeDecomposition:
+    """Bags {0,1},{1,2},{2,3} in a path — valid for P4."""
+    decomposition = TreeDecomposition()
+    a = decomposition.add_node({0, 1})
+    b = decomposition.add_node({1, 2})
+    c = decomposition.add_node({2, 3})
+    decomposition.add_edge(a, b)
+    decomposition.add_edge(b, c)
+    return decomposition
+
+
+class TestStructure:
+    def test_add_node_assigns_ids(self):
+        decomposition = TreeDecomposition()
+        assert decomposition.add_node({1}) == 0
+        assert decomposition.add_node({2}) == 1
+
+    def test_first_node_becomes_root(self):
+        decomposition = TreeDecomposition()
+        node = decomposition.add_node({1})
+        assert decomposition.root == node
+
+    def test_duplicate_node_id_rejected(self):
+        decomposition = TreeDecomposition()
+        decomposition.add_node({1}, node=7)
+        with pytest.raises(ValueError):
+            decomposition.add_node({2}, node=7)
+
+    def test_edge_to_unknown_node(self):
+        decomposition = TreeDecomposition()
+        decomposition.add_node({1})
+        with pytest.raises(KeyError):
+            decomposition.add_edge(0, 99)
+
+    def test_width(self):
+        decomposition = path_decomposition()
+        assert decomposition.width() == 1
+        assert trivial_decomposition(complete_graph(5)).width() == 4
+
+    def test_leaves(self):
+        decomposition = path_decomposition()
+        assert sorted(decomposition.leaves()) == [0, 2]
+
+    def test_single_node_is_leaf(self):
+        decomposition = TreeDecomposition()
+        node = decomposition.add_node({1})
+        assert decomposition.leaves() == [node]
+
+    def test_remove_leaf(self):
+        decomposition = path_decomposition()
+        decomposition.remove_node(2)
+        assert decomposition.num_nodes() == 2
+        assert decomposition.is_tree()
+
+    def test_remove_root_reassigns(self):
+        decomposition = path_decomposition()
+        root = decomposition.root
+        decomposition.remove_node(root)
+        assert decomposition.root is not None
+        assert decomposition.root != root
+
+    def test_path_between(self):
+        decomposition = path_decomposition()
+        assert decomposition.path_between(0, 2) == [0, 1, 2]
+        assert decomposition.path_between(1, 1) == [1]
+
+    def test_parent_map_and_depths(self):
+        decomposition = path_decomposition()
+        decomposition.root = 0
+        parents = decomposition.parent_map()
+        assert parents[0] is None
+        assert parents[1] == 0
+        assert parents[2] == 1
+        assert decomposition.depths() == {0: 0, 1: 1, 2: 2}
+
+    def test_copy_independent(self):
+        decomposition = path_decomposition()
+        clone = decomposition.copy()
+        clone.bags[0].add(99)
+        assert 99 not in decomposition.bags[0]
+
+
+class TestValidation:
+    def test_valid_for_path_graph(self):
+        path_decomposition().validate(path_graph(4))
+
+    def test_is_tree_rejects_cycle(self):
+        decomposition = path_decomposition()
+        decomposition.add_edge(0, 2)
+        assert not decomposition.is_tree()
+
+    def test_is_tree_rejects_forest(self):
+        decomposition = TreeDecomposition()
+        decomposition.add_node({1})
+        decomposition.add_node({2})
+        assert not decomposition.is_tree()
+
+    def test_missing_edge_cover(self):
+        decomposition = path_decomposition()
+        graph = path_graph(4)
+        graph.add_edge(0, 3)  # no bag contains {0, 3}
+        with pytest.raises(DecompositionError):
+            decomposition.validate(graph)
+
+    def test_connectedness_violation(self):
+        decomposition = TreeDecomposition()
+        a = decomposition.add_node({0, 1})
+        b = decomposition.add_node({1, 2})
+        c = decomposition.add_node({0, 2})  # 0 reappears disconnectedly
+        decomposition.add_edge(a, b)
+        decomposition.add_edge(b, c)
+        assert not decomposition.satisfies_connectedness()
+
+    def test_hypergraph_validation(self, example5):
+        decomposition = TreeDecomposition()
+        a = decomposition.add_node({"x1", "x2", "x3"})
+        b = decomposition.add_node({"x1", "x3", "x5"})
+        c = decomposition.add_node({"x3", "x4", "x5"})
+        d = decomposition.add_node({"x1", "x5", "x6"})
+        decomposition.add_edge(a, b)
+        decomposition.add_edge(b, c)
+        decomposition.add_edge(b, d)
+        decomposition.validate(example5)
+        assert decomposition.width() == 2
+
+    def test_vertex_missing_from_all_bags(self):
+        decomposition = TreeDecomposition()
+        decomposition.add_node({1, 2})
+        hypergraph = Hypergraph({"e": {1, 2}}, vertices=[3])
+        with pytest.raises(DecompositionError):
+            decomposition.validate(hypergraph)
+
+    def test_trivial_decomposition_always_valid(self, example5):
+        trivial_decomposition(example5).validate(example5)

@@ -1,0 +1,99 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentSpec,
+    run_experiment,
+)
+
+
+class TestSpecValidation:
+    def test_bad_measure(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(instances=["grid3"], measure="zzz").validated()
+
+    def test_bad_algorithm(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                instances=["grid3"], algorithms=["quantum"]
+            ).validated()
+
+    def test_empty_instances(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(instances=[]).validated()
+
+    def test_ghw_algorithm_names_differ(self):
+        # min-fill is a tw heuristic, not a ghw one
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                instances=["adder_3"],
+                measure="ghw",
+                algorithms=["min-fill"],
+            ).validated()
+
+
+class TestRun:
+    def test_tw_exact_and_heuristics(self):
+        spec = ExperimentSpec(
+            instances=["grid3", "myciel3"],
+            measure="tw",
+            algorithms=["astar", "min-fill", "sa"],
+            time_limit=10.0,
+        )
+        table = run_experiment(spec)
+        assert len(table.rows) == 2
+        grid_row = table.rows[0]
+        assert grid_row["astar"] == 3
+        assert grid_row["min-fill"] >= 3
+        assert grid_row["sa"] >= 3
+        assert "astar_s" in grid_row
+
+    def test_ghw_run(self):
+        spec = ExperimentSpec(
+            instances=["adder_3"],
+            measure="ghw",
+            algorithms=["bb", "sa"],
+            time_limit=10.0,
+        )
+        table = run_experiment(spec)
+        assert table.rows[0]["bb"] == 2
+        assert table.rows[0]["sa"] >= 2
+
+    def test_budgeted_exact_reports_bracket(self):
+        spec = ExperimentSpec(
+            instances=["queen5_5"],
+            measure="tw",
+            algorithms=["bb"],
+            node_limit=3,
+        )
+        table = run_experiment(spec)
+        cell = str(table.rows[0]["bb"])
+        assert cell == "18" or "*[" in cell
+
+    def test_graph_instance_rejected_for_ghw(self):
+        spec = ExperimentSpec(
+            instances=["grid3"], measure="ghw", algorithms=["bb"]
+        )
+        with pytest.raises(ValueError):
+            run_experiment(spec)
+
+    def test_to_text_renders_all_rows(self):
+        spec = ExperimentSpec(
+            instances=["grid2", "grid3"],
+            measure="tw",
+            algorithms=["astar"],
+        )
+        table = run_experiment(spec)
+        text = table.to_text()
+        assert "grid2" in text and "grid3" in text
+        assert "instance" in text
+
+    def test_column_accessor(self):
+        spec = ExperimentSpec(
+            instances=["grid2", "grid3"],
+            measure="tw",
+            algorithms=["astar"],
+        )
+        table = run_experiment(spec)
+        assert table.column("astar") == [2, 3]

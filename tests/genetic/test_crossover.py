@@ -1,0 +1,126 @@
+"""Tests for the six crossover operators (Section 4.3.2)."""
+
+import random
+
+import pytest
+
+from repro.genetic.crossover import (
+    CROSSOVER_OPERATORS,
+    ap,
+    cx,
+    get_crossover,
+    ox1,
+    ox2,
+    pmx,
+    pos,
+)
+
+ALL = sorted(CROSSOVER_OPERATORS)
+
+
+def random_parents(n, seed):
+    rng = random.Random(seed)
+    p1 = list(range(n))
+    p2 = list(range(n))
+    rng.shuffle(p1)
+    rng.shuffle(p2)
+    return p1, p2
+
+
+class TestAllOperators:
+    @pytest.mark.parametrize("name", ALL)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_children_are_permutations(self, name, seed):
+        operator = CROSSOVER_OPERATORS[name]
+        p1, p2 = random_parents(9, seed)
+        rng = random.Random(seed + 999)
+        c1, c2 = operator(p1, p2, rng)
+        assert sorted(c1) == sorted(p1)
+        assert sorted(c2) == sorted(p1)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_parents_not_mutated(self, name):
+        operator = CROSSOVER_OPERATORS[name]
+        p1, p2 = random_parents(8, 3)
+        before1, before2 = list(p1), list(p2)
+        operator(p1, p2, random.Random(0))
+        assert p1 == before1 and p2 == before2
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_tiny_inputs(self, name):
+        operator = CROSSOVER_OPERATORS[name]
+        c1, c2 = operator([1], [1], random.Random(0))
+        assert c1 == [1] and c2 == [1]
+        c1, c2 = operator([], [], random.Random(0))
+        assert c1 == [] and c2 == []
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_identical_parents_reproduce(self, name):
+        operator = CROSSOVER_OPERATORS[name]
+        parent = list(range(7))
+        c1, c2 = operator(parent, parent, random.Random(5))
+        assert c1 == parent and c2 == parent
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_deterministic_given_seed(self, name):
+        operator = CROSSOVER_OPERATORS[name]
+        p1, p2 = random_parents(10, 7)
+        first = operator(p1, p2, random.Random(11))
+        second = operator(p1, p2, random.Random(11))
+        assert first == second
+
+
+class TestSpecificBehaviour:
+    def test_cx_positions_preserved(self):
+        """Every CX child gene sits at that gene's position in one parent."""
+        p1, p2 = random_parents(8, 1)
+        c1, c2 = cx(p1, p2, random.Random(0))
+        for i in range(8):
+            assert c1[i] in (p1[i], p2[i])
+            assert c2[i] in (p1[i], p2[i])
+
+    def test_pmx_keeps_a_segment(self):
+        rng = random.Random(2)
+        p1, p2 = random_parents(10, 2)
+        c1, _c2 = pmx(p1, p2, rng)
+        # child1 carries a contiguous segment of parent2
+        matches = [i for i in range(10) if c1[i] == p2[i]]
+        assert matches, "PMX child should inherit the donor segment"
+
+    def test_ap_alternates(self):
+        p1 = [1, 2, 3, 4]
+        p2 = [4, 3, 2, 1]
+        c1, c2 = ap(p1, p2, random.Random(0))
+        assert c1 == [1, 4, 2, 3]
+        assert c2 == [4, 1, 3, 2]
+
+    def test_ox1_keeps_segment_in_place(self):
+        rng = random.Random(4)
+        p1, p2 = random_parents(10, 4)
+        c1, _ = ox1(p1, p2, rng)
+        segment = [i for i in range(10) if c1[i] == p1[i]]
+        assert segment, "OX1 must keep the chosen segment of parent 1"
+
+    def test_pos_inherits_selected_positions(self):
+        # POS children mix both parents and stay permutations (already
+        # covered); here: with all-same parents nothing changes
+        parent = list(range(6))
+        c1, c2 = pos(parent, parent[::-1], random.Random(9))
+        assert sorted(c1) == parent
+        assert sorted(c2) == parent
+
+    def test_ox2_reorders_to_other_parent(self):
+        p1 = [1, 2, 3, 4, 5]
+        p2 = [5, 4, 3, 2, 1]
+        c1, _ = ox2(p1, p2, random.Random(1))
+        assert sorted(c1) == sorted(p1)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_crossover("pos") is pos
+        assert get_crossover("PMX") is pmx
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_crossover("XYZ")

@@ -1,0 +1,159 @@
+"""Tests for the generic GA engine and selection (Figures 4.4 and 6.1)."""
+
+import random
+
+import pytest
+
+from repro.genetic.engine import GAParameters, run_ga
+from repro.genetic.selection import best_individual, tournament_selection
+
+
+class TestSelection:
+    def test_tournament_prefers_fitter(self):
+        rng = random.Random(0)
+        population = [[1], [2], [3]]
+        fitnesses = [10, 1, 5]
+        selected = tournament_selection(
+            population, fitnesses, group_size=3, count=20, rng=rng
+        )
+        # with full-population tournaments the best always wins
+        assert all(individual == [2] for individual in selected)
+
+    def test_group_size_one_is_uniform(self):
+        rng = random.Random(1)
+        population = [[1], [2]]
+        selected = tournament_selection(
+            population, [5, 1], group_size=1, count=200, rng=rng
+        )
+        ones = sum(1 for ind in selected if ind == [1])
+        assert 50 < ones < 150  # roughly uniform despite fitness gap
+
+    def test_selected_are_copies(self):
+        rng = random.Random(2)
+        population = [[1, 2]]
+        selected = tournament_selection(
+            population, [0], group_size=1, count=1, rng=rng
+        )
+        selected[0].append(99)
+        assert population[0] == [1, 2]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            tournament_selection([[1]], [1, 2], 2, 1, random.Random(0))
+
+    def test_empty_population(self):
+        with pytest.raises(ValueError):
+            tournament_selection([], [], 2, 1, random.Random(0))
+
+    def test_best_individual(self):
+        individual, fitness = best_individual([[1], [2], [3]], [4, 1, 9])
+        assert individual == [2] and fitness == 1
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        GAParameters().validated()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("population_size", 1),
+            ("crossover_rate", 1.5),
+            ("mutation_rate", -0.1),
+            ("group_size", 0),
+            ("max_iterations", -1),
+            ("crossover", "NOPE"),
+            ("mutation", "NOPE"),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        parameters = GAParameters(**{field: value})
+        with pytest.raises(ValueError):
+            parameters.validated()
+
+
+class TestEngine:
+    def sort_distance(self, individual):
+        """Fitness: number of adjacent inversions (0 = sorted)."""
+        return sum(
+            1
+            for a, b in zip(individual, individual[1:])
+            if a > b
+        )
+
+    def test_optimises_simple_objective(self):
+        rng = random.Random(0)
+        result = run_ga(
+            list(range(8)),
+            self.sort_distance,
+            GAParameters(population_size=30, max_iterations=60),
+            rng,
+        )
+        assert result.best_fitness <= 1
+
+    def test_target_stops_early(self):
+        rng = random.Random(0)
+        result = run_ga(
+            list(range(6)),
+            self.sort_distance,
+            GAParameters(population_size=20, max_iterations=500),
+            rng,
+            seeds=[list(range(6))],
+            target=0,
+        )
+        assert result.best_fitness == 0
+        assert result.generations == 0  # seeded with the optimum
+
+    def test_history_is_monotone_nonincreasing(self):
+        rng = random.Random(3)
+        result = run_ga(
+            list(range(7)),
+            self.sort_distance,
+            GAParameters(population_size=10, max_iterations=25),
+            rng,
+        )
+        assert result.history == sorted(result.history, reverse=True)
+
+    def test_deterministic_given_seed(self):
+        results = [
+            run_ga(
+                list(range(7)),
+                self.sort_distance,
+                GAParameters(population_size=10, max_iterations=10),
+                random.Random(42),
+            ).best_fitness
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_time_limit_respected(self):
+        rng = random.Random(0)
+        result = run_ga(
+            list(range(10)),
+            self.sort_distance,
+            GAParameters(population_size=10, max_iterations=10_000),
+            rng,
+            time_limit=0.05,
+        )
+        assert result.generations < 10_000
+
+    def test_best_individual_matches_best_fitness(self):
+        rng = random.Random(5)
+        result = run_ga(
+            list(range(8)),
+            self.sort_distance,
+            GAParameters(population_size=15, max_iterations=15),
+            rng,
+        )
+        assert self.sort_distance(result.best_individual) == result.best_fitness
+
+    def test_zero_iterations_returns_initial_best(self):
+        rng = random.Random(1)
+        result = run_ga(
+            list(range(5)),
+            self.sort_distance,
+            GAParameters(population_size=5, max_iterations=0),
+            rng,
+        )
+        assert result.generations == 0
+        assert result.evaluations == 5

@@ -1,0 +1,90 @@
+"""Tests for the six mutation operators (Section 4.3.3)."""
+
+import random
+
+import pytest
+
+from repro.genetic.mutation import (
+    MUTATION_OPERATORS,
+    exchange,
+    get_mutation,
+    insertion,
+    simple_inversion,
+)
+
+ALL = sorted(MUTATION_OPERATORS)
+
+
+class TestAllOperators:
+    @pytest.mark.parametrize("name", ALL)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_result_is_permutation(self, name, seed):
+        operator = MUTATION_OPERATORS[name]
+        individual = list(range(9))
+        random.Random(seed).shuffle(individual)
+        mutated = operator(individual, random.Random(seed + 100))
+        assert sorted(mutated) == sorted(individual)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_input_not_mutated(self, name):
+        operator = MUTATION_OPERATORS[name]
+        individual = list(range(8))
+        before = list(individual)
+        operator(individual, random.Random(0))
+        assert individual == before
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_tiny_inputs(self, name):
+        operator = MUTATION_OPERATORS[name]
+        assert operator([1], random.Random(0)) == [1]
+        assert operator([], random.Random(0)) == []
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_usually_changes_something(self, name):
+        """Over many seeds, at least one mutation must differ."""
+        operator = MUTATION_OPERATORS[name]
+        individual = list(range(10))
+        changed = any(
+            operator(individual, random.Random(seed)) != individual
+            for seed in range(30)
+        )
+        assert changed
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_deterministic_given_seed(self, name):
+        operator = MUTATION_OPERATORS[name]
+        individual = list(range(12))
+        assert operator(individual, random.Random(5)) == operator(
+            individual, random.Random(5)
+        )
+
+
+class TestSpecificBehaviour:
+    def test_exchange_swaps_exactly_two(self):
+        individual = list(range(10))
+        mutated = exchange(individual, random.Random(1))
+        diffs = [i for i in range(10) if mutated[i] != individual[i]]
+        assert len(diffs) == 2
+
+    def test_insertion_moves_one(self):
+        individual = list(range(10))
+        mutated = insertion(individual, random.Random(2))
+        assert sorted(mutated) == individual
+
+    def test_simple_inversion_reverses_segment(self):
+        individual = list(range(10))
+        mutated = simple_inversion(individual, random.Random(3))
+        # find the changed window and check it is reversed
+        diffs = [i for i in range(10) if mutated[i] != individual[i]]
+        if diffs:
+            lo, hi = diffs[0], diffs[-1] + 1
+            assert mutated[lo:hi] == individual[lo:hi][::-1]
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_mutation("ism") is insertion
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_mutation("QQ")

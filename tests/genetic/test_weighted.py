@@ -1,0 +1,95 @@
+"""Tests for the weighted triangulation objective (Section 4.5)."""
+
+import math
+
+import pytest
+
+from repro.decompositions.elimination import ordering_width
+from repro.genetic.engine import GAParameters
+from repro.genetic.weighted import (
+    ga_weighted_triangulation,
+    triangulation_weight,
+)
+from repro.hypergraphs.graph import Graph, complete_graph, path_graph
+from repro.instances.dimacs_like import grid_graph
+
+FAST = GAParameters(population_size=15, max_iterations=20)
+
+
+class TestWeight:
+    def test_uniform_states_count_tables(self):
+        graph = path_graph(3)
+        states = {v: 2 for v in graph}
+        # bags along 0,1,2: {0,1}, {1,2}, {2} -> 4 + 4 + 2 = 10
+        weight = triangulation_weight(graph, [0, 1, 2], states)
+        assert weight == pytest.approx(math.log2(10))
+
+    def test_bigger_bags_cost_more(self):
+        graph = complete_graph(4)
+        states = {v: 3 for v in graph}
+        small = triangulation_weight(path_graph(4), [0, 1, 2, 3], {v: 3 for v in range(4)})
+        big = triangulation_weight(graph, [0, 1, 2, 3], states)
+        assert big > small
+
+    def test_nonuniform_states_steer_the_objective(self):
+        """A huge-state vertex should be eliminated where its bag is
+        smallest; the weight tells those orderings apart while the width
+        cannot."""
+        graph = path_graph(3)
+        states = {0: 2, 1: 2, 2: 100}
+        # both orderings have width 1, but eliminating the heavy end
+        # last leaves it alone in its final bag
+        costly = triangulation_weight(graph, [0, 1, 2], states)
+        cheap = triangulation_weight(graph, [2, 1, 0], states)
+        assert ordering_width(graph, [0, 1, 2]) == ordering_width(
+            graph, [2, 1, 0]
+        )
+        assert cheap < costly
+
+    def test_invalid_state_count(self):
+        graph = path_graph(2)
+        with pytest.raises(ValueError):
+            triangulation_weight(graph, [0, 1], {0: 0, 1: 2})
+
+
+class TestGa:
+    def test_runs_and_is_reproducible(self):
+        graph = grid_graph(3)
+        states = {v: 2 for v in graph}
+        first = ga_weighted_triangulation(
+            graph, states, parameters=FAST, seed=3
+        )
+        second = ga_weighted_triangulation(
+            graph, states, parameters=FAST, seed=3
+        )
+        assert first.best_fitness == second.best_fitness
+
+    def test_best_individual_achieves_fitness(self):
+        graph = grid_graph(3)
+        states = {v: 2 for v in graph}
+        result = ga_weighted_triangulation(
+            graph, states, parameters=FAST, seed=0
+        )
+        weight = triangulation_weight(graph, result.best_individual, states)
+        assert round(1000 * weight) == result.best_fitness
+
+    def test_missing_states_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            ga_weighted_triangulation(graph, {0: 2}, parameters=FAST)
+
+    def test_avoids_heavy_vertex_bags(self):
+        """With one enormous variable, the GA finds an ordering whose
+        weight matches the best ordering's weight for a small graph."""
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        states = {0: 2, 1: 2, 2: 50, 3: 2}
+        result = ga_weighted_triangulation(
+            graph, states, parameters=FAST, seed=1
+        )
+        from itertools import permutations
+
+        best = min(
+            triangulation_weight(graph, list(perm), states)
+            for perm in permutations(range(4))
+        )
+        assert result.best_fitness == round(1000 * best)

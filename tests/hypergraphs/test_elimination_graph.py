@@ -1,0 +1,116 @@
+"""Tests for the eliminate/restore graph (Section 5.2.1 machinery)."""
+
+import random
+
+import pytest
+
+from repro.hypergraphs.elimination_graph import (
+    EliminationGraph,
+    eliminate_sequence,
+)
+from repro.hypergraphs.graph import Graph, complete_graph, cycle_graph, path_graph
+from repro.instances.dimacs_like import random_gnp
+
+
+class TestEliminateRestore:
+    def test_restore_is_exact_inverse(self):
+        original = cycle_graph(5)
+        working = EliminationGraph(original)
+        working.eliminate(0)
+        assert working.graph() != original
+        restored = working.restore()
+        assert restored == 0
+        assert working.graph() == original
+
+    def test_restore_without_elimination_raises(self):
+        working = EliminationGraph(path_graph(3))
+        with pytest.raises(IndexError):
+            working.restore()
+
+    def test_restore_all(self):
+        original = random_gnp(12, 0.4, seed=7)
+        working = EliminationGraph(original)
+        for vertex in sorted(original.vertices())[:8]:
+            working.eliminate(vertex)
+        working.restore_all()
+        assert working.graph() == original
+        assert working.eliminated() == []
+
+    def test_fill_edges_tracked(self):
+        star = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        working = EliminationGraph(star)
+        working.eliminate(0)
+        assert working.graph().is_clique([1, 2, 3])
+        working.restore()
+        assert working.graph() == star
+
+    def test_deep_random_roundtrip(self):
+        rng = random.Random(42)
+        original = random_gnp(15, 0.3, seed=1)
+        working = EliminationGraph(original)
+        order = sorted(original.vertices())
+        rng.shuffle(order)
+        for vertex in order:
+            working.eliminate(vertex)
+        assert working.num_vertices() == 0
+        working.restore_all()
+        assert working.graph() == original
+
+    def test_eliminated_prefix_order(self):
+        working = EliminationGraph(complete_graph(4))
+        working.eliminate(2)
+        working.eliminate(0)
+        assert working.eliminated() == [2, 0]
+
+
+class TestSwitchTo:
+    def test_switch_forward(self):
+        graph = random_gnp(10, 0.4, seed=3)
+        working = EliminationGraph(graph)
+        working.switch_to([0, 1, 2])
+        assert working.eliminated() == [0, 1, 2]
+
+    def test_switch_shares_prefix(self):
+        graph = random_gnp(10, 0.4, seed=3)
+        working = EliminationGraph(graph)
+        working.switch_to([0, 1, 2, 3])
+        working.switch_to([0, 1, 5])
+        assert working.eliminated() == [0, 1, 5]
+
+    def test_switch_matches_fresh_elimination(self):
+        graph = random_gnp(10, 0.5, seed=9)
+        meandering = EliminationGraph(graph)
+        meandering.switch_to([0, 1, 2, 3, 4])
+        meandering.switch_to([5, 6])
+        meandering.switch_to([5, 6, 7, 0])
+
+        fresh = EliminationGraph(graph)
+        for vertex in [5, 6, 7, 0]:
+            fresh.eliminate(vertex)
+        assert meandering.graph() == fresh.graph()
+
+    def test_switch_to_empty_restores_original(self):
+        graph = random_gnp(8, 0.5, seed=2)
+        working = EliminationGraph(graph)
+        working.switch_to([0, 1, 2])
+        working.switch_to([])
+        assert working.graph() == graph
+
+
+class TestEliminateSequence:
+    def test_bags_of_path(self):
+        bags = eliminate_sequence(path_graph(4), [0, 1, 2, 3])
+        assert bags == [{0, 1}, {1, 2}, {2, 3}, {3}]
+
+    def test_bags_contain_self(self):
+        graph = random_gnp(8, 0.5, seed=5)
+        order = sorted(graph.vertices())
+        bags = eliminate_sequence(graph, order)
+        for vertex, bag in zip(order, bags):
+            assert vertex in bag
+
+    def test_source_graph_unchanged(self):
+        graph = cycle_graph(5)
+        before = graph.copy()
+        eliminate_sequence(graph, sorted(graph.vertices()))
+        assert graph == before

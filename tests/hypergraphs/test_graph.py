@@ -1,0 +1,185 @@
+"""Unit tests for the mutable graph substrate."""
+
+import pytest
+
+from repro.hypergraphs.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_vertices() == 0
+        assert graph.num_edges() == 0
+        assert graph.vertices() == set()
+
+    def test_vertices_and_edges(self):
+        graph = Graph(vertices=[1, 2, 3], edges=[(1, 2)])
+        assert graph.num_vertices() == 3
+        assert graph.num_edges() == 1
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 3)
+
+    def test_edge_creates_endpoints(self):
+        graph = Graph(edges=[("a", "b")])
+        assert graph.vertices() == {"a", "b"}
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_duplicate_edge_is_idempotent(self):
+        graph = Graph(edges=[(1, 2), (1, 2), (2, 1)])
+        assert graph.num_edges() == 1
+
+    def test_add_vertex_idempotent(self):
+        graph = Graph()
+        graph.add_vertex(1)
+        graph.add_vertex(1)
+        assert graph.num_vertices() == 1
+
+
+class TestMutation:
+    def test_remove_vertex_drops_incident_edges(self):
+        graph = complete_graph(4)
+        graph.remove_vertex(0)
+        assert graph.num_vertices() == 3
+        assert graph.num_edges() == 3
+        assert 0 not in graph
+
+    def test_remove_edge(self):
+        graph = complete_graph(3)
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges() == 2
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(vertices=[1, 2])
+        with pytest.raises(KeyError):
+            graph.remove_edge(1, 2)
+
+    def test_add_clique(self):
+        graph = Graph()
+        graph.add_clique([1, 2, 3])
+        assert graph.num_edges() == 3
+        assert graph.is_clique([1, 2, 3])
+
+    def test_eliminate_connects_neighbourhood(self):
+        graph = path_graph(3)  # 0 - 1 - 2
+        neighbours = graph.eliminate(1)
+        assert neighbours == {0, 2}
+        assert graph.has_edge(0, 2)
+        assert 1 not in graph
+
+    def test_eliminate_leaf_adds_nothing(self):
+        graph = path_graph(3)
+        graph.eliminate(0)
+        assert graph.num_edges() == 1
+
+    def test_contract_merges_neighbourhoods(self):
+        graph = path_graph(4)  # 0-1-2-3
+        graph.contract(1, 2)
+        assert 2 not in graph
+        assert graph.has_edge(1, 3)
+        assert graph.has_edge(0, 1)
+        assert graph.num_vertices() == 3
+
+    def test_contract_non_edge_raises(self):
+        graph = path_graph(3)
+        with pytest.raises(KeyError):
+            graph.contract(0, 2)
+
+
+class TestQueries:
+    def test_degree_and_neighbours(self):
+        graph = complete_graph(5)
+        assert graph.degree(0) == 4
+        assert graph.neighbours(0) == {1, 2, 3, 4}
+
+    def test_neighbours_returns_copy(self):
+        graph = complete_graph(3)
+        neighbours = graph.neighbours(0)
+        neighbours.add(99)
+        assert 99 not in graph.neighbours(0)
+
+    def test_is_simplicial(self):
+        graph = complete_graph(4)
+        assert all(graph.is_simplicial(v) for v in graph)
+        graph = cycle_graph(4)
+        assert not any(graph.is_simplicial(v) for v in graph)
+
+    def test_leaf_is_simplicial(self):
+        graph = path_graph(3)
+        assert graph.is_simplicial(0)
+        assert not graph.is_simplicial(1)
+
+    def test_is_almost_simplicial(self):
+        # In C4, each vertex's two neighbours are non-adjacent, but
+        # dropping one leaves a single vertex (trivially a clique).
+        graph = cycle_graph(4)
+        assert all(graph.is_almost_simplicial(v) for v in graph)
+
+    def test_not_almost_simplicial(self):
+        # The center of a star with 3 independent leaves: no single
+        # removal makes the rest a clique.
+        graph = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert not graph.is_almost_simplicial(0)
+
+    def test_fill_in(self):
+        star = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert star.fill_in(0) == 3
+        assert star.fill_in(1) == 0
+
+    def test_connected_components(self):
+        graph = Graph(vertices=[1, 2, 3, 4], edges=[(1, 2), (3, 4)])
+        components = sorted(graph.connected_components(), key=min)
+        assert components == [{1, 2}, {3, 4}]
+
+    def test_subgraph(self):
+        graph = complete_graph(4)
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.num_vertices() == 3
+        assert sub.num_edges() == 3
+
+    def test_subgraph_unknown_vertex(self):
+        with pytest.raises(KeyError):
+            complete_graph(3).subgraph([0, 99])
+
+    def test_copy_is_independent(self, square):
+        clone = square.copy()
+        clone.remove_vertex(1)
+        assert 1 in square
+
+    def test_equality(self):
+        assert complete_graph(3) == complete_graph(3)
+        assert complete_graph(3) != complete_graph(4)
+
+    def test_iteration_and_len(self):
+        graph = complete_graph(3)
+        assert sorted(graph) == [0, 1, 2]
+        assert len(graph) == 3
+
+
+class TestFactories:
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges() == 10
+
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.num_edges() == 4
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges() == 5
+        assert all(graph.degree(v) == 2 for v in graph)
+
+    def test_tiny_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)

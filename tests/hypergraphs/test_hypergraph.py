@@ -1,0 +1,148 @@
+"""Tests for hypergraphs, primal and dual graphs (Definitions 2-4)."""
+
+import pytest
+
+from repro.hypergraphs.graph import Graph, complete_graph
+from repro.hypergraphs.hypergraph import Hypergraph, from_graph
+
+
+class TestConstruction:
+    def test_named_edges(self, example5):
+        assert example5.num_vertices() == 6
+        assert example5.num_edges() == 3
+        assert example5.edge("C1") == {"x1", "x2", "x3"}
+
+    def test_auto_named_edges(self):
+        hypergraph = Hypergraph([{1, 2}, {2, 3}])
+        assert set(hypergraph.edge_names()) == {"e0", "e1"}
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph({"bad": set()})
+
+    def test_duplicate_name_rejected(self):
+        hypergraph = Hypergraph({"e": {1, 2}})
+        with pytest.raises(ValueError):
+            hypergraph.add_edge("e", {3, 4})
+
+    def test_isolated_vertices_allowed(self):
+        hypergraph = Hypergraph({"e": {1, 2}}, vertices=[99])
+        assert 99 in hypergraph
+        assert hypergraph.num_vertices() == 3
+
+
+class TestQueries:
+    def test_edges_containing(self, example5):
+        assert set(example5.edges_containing("x1")) == {"C1", "C2"}
+        assert example5.edges_containing("x4") == ["C3"]
+
+    def test_incidence(self, example5):
+        incidence = example5.incidence()
+        assert incidence["x5"] == {"C2", "C3"}
+        assert incidence["x2"] == {"C1"}
+
+    def test_max_edge_size(self, example5):
+        assert example5.max_edge_size() == 3
+        assert Hypergraph().max_edge_size() == 0
+
+    def test_edges_returns_copy(self, example5):
+        edges = example5.edges()
+        edges["X"] = frozenset({"x1"})
+        assert "X" not in example5.edge_names()
+
+    def test_equality_and_copy(self, example5):
+        clone = example5.copy()
+        assert clone == example5
+        clone.add_edge("extra", {"x1"})
+        assert clone != example5
+
+
+class TestPrimalGraph:
+    def test_example5_primal(self, example5):
+        primal = example5.primal_graph()
+        assert primal.num_vertices() == 6
+        # each ternary edge is a triangle; they overlap in x1, x3, x5
+        assert primal.has_edge("x1", "x2")
+        assert primal.has_edge("x1", "x6")
+        assert primal.has_edge("x4", "x5")
+        assert not primal.has_edge("x2", "x4")
+        assert primal.num_edges() == 9
+
+    def test_single_edge_is_clique(self):
+        hypergraph = Hypergraph({"h": {1, 2, 3, 4}})
+        primal = hypergraph.primal_graph()
+        assert primal.is_clique([1, 2, 3, 4])
+        assert primal.num_edges() == complete_graph(4).num_edges()
+
+    def test_binary_hypergraph_primal_is_itself(self):
+        graph = complete_graph(5)
+        assert from_graph(graph).primal_graph() == graph
+
+
+class TestDualGraph:
+    def test_example5_dual(self, example5):
+        dual = example5.dual_graph()
+        assert dual.vertices() == {"C1", "C2", "C3"}
+        # C1 and C2 share x1; C1 and C3 share x3; C2 and C3 share x5
+        assert dual.num_edges() == 3
+
+    def test_disjoint_edges_disconnected(self):
+        hypergraph = Hypergraph({"a": {1, 2}, "b": {3, 4}})
+        assert hypergraph.dual_graph().num_edges() == 0
+
+
+class TestEliminate:
+    def test_definition_16_merge(self, figure_2_11):
+        """Eliminating a vertex merges all edges containing it."""
+        result = figure_2_11.eliminate("x6")
+        assert "x6" not in result
+        merged = [
+            edge for edge in result.edge_sets() if edge == {"x4", "x5"}
+        ]
+        assert merged, "h4 should have been reduced to {x4, x5}"
+
+    def test_eliminate_matches_primal_elimination(self, figure_2_11):
+        """Definition 16 adjacency == vertex elimination adjacency."""
+        hypergraph = figure_2_11
+        primal = hypergraph.primal_graph()
+        for vertex in sorted(hypergraph.vertices()):
+            reduced = hypergraph.eliminate(vertex)
+            eliminated_primal = primal.copy()
+            eliminated_primal.eliminate(vertex)
+            assert reduced.primal_graph() == eliminated_primal
+
+    def test_eliminate_unknown_vertex(self, example5):
+        with pytest.raises(KeyError):
+            example5.eliminate("nope")
+
+
+class TestRestrict:
+    def test_restrict_drops_empty_edges(self, example5):
+        restricted = example5.restrict({"x2", "x3"})
+        # C2 = {x1, x5, x6} is disjoint from the kept set and vanishes;
+        # C1 and C3 survive with their intersections.
+        assert set(restricted.edge_names()) == {"C1", "C3"}
+        assert restricted.edge("C1") == {"x2", "x3"}
+        assert restricted.edge("C3") == {"x3"}
+
+    def test_restrict_to_disjoint_set_is_empty(self, example5):
+        restricted = example5.restrict({"zzz"})
+        assert restricted.num_edges() == 0
+        assert restricted.num_vertices() == 0
+
+    def test_restrict_keeps_names(self, example5):
+        restricted = example5.restrict(example5.vertices())
+        assert restricted == example5
+
+
+class TestFromGraph:
+    def test_edges_are_pairs(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        hypergraph = from_graph(graph)
+        assert hypergraph.num_edges() == 2
+        assert all(len(edge) == 2 for edge in hypergraph.edge_sets())
+
+    def test_is_connected(self, example5):
+        assert example5.is_connected()
+        assert not Hypergraph({"a": {1}, "b": {2}}).is_connected()
+        assert not Hypergraph().is_connected()

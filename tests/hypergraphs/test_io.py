@@ -1,0 +1,105 @@
+"""Tests for DIMACS and hypergraph file formats."""
+
+import pytest
+
+from repro.hypergraphs.io import (
+    FormatError,
+    parse_dimacs,
+    parse_hypergraph,
+    read_dimacs,
+    read_hypergraph,
+    write_dimacs,
+    write_hypergraph,
+)
+from repro.instances.dimacs_like import queen_graph
+
+
+class TestDimacsParsing:
+    def test_basic(self):
+        text = """c a comment
+p edge 3 2
+e 1 2
+e 2 3
+"""
+        graph = parse_dimacs(text)
+        assert graph.num_vertices() == 3
+        assert graph.num_edges() == 2
+        assert graph.has_edge(1, 2)
+
+    def test_duplicate_edges_collapse(self):
+        graph = parse_dimacs("p edge 2 2\ne 1 2\ne 2 1\n")
+        assert graph.num_edges() == 1
+
+    def test_isolated_vertices_from_header(self):
+        graph = parse_dimacs("p edge 5 1\ne 1 2\n")
+        assert graph.num_vertices() == 5
+        assert graph.degree(5) == 0
+
+    def test_bad_problem_line(self):
+        with pytest.raises(FormatError):
+            parse_dimacs("p something 3\n")
+
+    def test_bad_edge_line(self):
+        with pytest.raises(FormatError):
+            parse_dimacs("p edge 2 1\ne 1\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(FormatError):
+            parse_dimacs("p edge 1 0\nx nonsense\n")
+
+    def test_node_lines_ignored(self):
+        graph = parse_dimacs("p edge 2 1\nn 1 3\ne 1 2\n")
+        assert graph.num_edges() == 1
+
+
+class TestDimacsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original = queen_graph(4)
+        path = tmp_path / "queen.col"
+        write_dimacs(original, path)
+        loaded = read_dimacs(path)
+        assert loaded.num_vertices() == original.num_vertices()
+        assert loaded.num_edges() == original.num_edges()
+
+    def test_written_header_consistent(self, tmp_path):
+        graph = queen_graph(3)
+        path = tmp_path / "g.col"
+        write_dimacs(graph, path)
+        first = path.read_text().splitlines()[0].split()
+        assert first == ["p", "edge", "9", str(graph.num_edges())]
+
+
+class TestHypergraphParsing:
+    def test_named_edges(self):
+        text = """% comment
+C1(x1, x2, x3)
+C2(x1,x5,x6),
+C3(x3, x4, x5).
+"""
+        hypergraph = parse_hypergraph(text)
+        assert hypergraph.num_edges() == 3
+        assert hypergraph.edge("C2") == {"x1", "x5", "x6"}
+
+    def test_bare_lines_auto_named(self):
+        hypergraph = parse_hypergraph("a b c\nc d\n")
+        assert hypergraph.num_edges() == 2
+        assert hypergraph.num_vertices() == 4
+
+    def test_hash_comments(self):
+        hypergraph = parse_hypergraph("# header\ne1(a,b)\n")
+        assert hypergraph.num_edges() == 1
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(FormatError):
+            parse_hypergraph("empty()\n")
+
+
+class TestHypergraphRoundtrip:
+    def test_roundtrip(self, tmp_path, example5):
+        path = tmp_path / "example5.hg"
+        write_hypergraph(example5, path)
+        loaded = read_hypergraph(path)
+        assert loaded.num_edges() == example5.num_edges()
+        assert set(loaded.edge_names()) == set(example5.edge_names())
+        for name in example5.edge_names():
+            assert loaded.edge(name) == example5.edge(name)

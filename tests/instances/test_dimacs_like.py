@@ -1,0 +1,109 @@
+"""Tests for the DIMACS-style graph generators (Tables 5.1-6.6 metadata)."""
+
+import pytest
+
+from repro.instances.dimacs_like import (
+    grid_graph,
+    mycielski_graph,
+    queen_graph,
+    random_gnm,
+    random_gnp,
+)
+
+
+class TestQueenGraphs:
+    @pytest.mark.parametrize(
+        "n,vertices,directed_edges",
+        [(5, 25, 320), (6, 36, 580), (7, 49, 952)],
+    )
+    def test_thesis_table_sizes(self, n, vertices, directed_edges):
+        """Table 5.1 lists DIMACS's doubled (directed) edge counts."""
+        graph = queen_graph(n)
+        assert graph.num_vertices() == vertices
+        assert 2 * graph.num_edges() == directed_edges
+
+    def test_rows_are_cliques(self):
+        graph = queen_graph(4)
+        row = [(0, c) for c in range(4)]
+        assert graph.is_clique(row)
+
+    def test_diagonals_attack(self):
+        graph = queen_graph(5)
+        assert graph.has_edge((0, 0), (4, 4))
+        assert not graph.has_edge((0, 1), (1, 3))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            queen_graph(0)
+
+
+class TestMycielski:
+    @pytest.mark.parametrize(
+        "k,vertices,edges",
+        [(3, 11, 20), (4, 23, 71), (5, 47, 236)],
+    )
+    def test_thesis_table_sizes(self, k, vertices, edges):
+        graph = mycielski_graph(k)
+        assert graph.num_vertices() == vertices
+        assert graph.num_edges() == edges
+
+    def test_triangle_free(self):
+        """Mycielski graphs are triangle-free."""
+        graph = mycielski_graph(4)
+        for u in graph:
+            for v in graph.neighbours(u):
+                assert not (graph.neighbours(u) & graph.neighbours(v))
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            mycielski_graph(1)
+
+
+class TestGrids:
+    def test_square_grid(self):
+        graph = grid_graph(4)
+        assert graph.num_vertices() == 16
+        assert graph.num_edges() == 24
+
+    def test_rectangular(self):
+        graph = grid_graph(2, 5)
+        assert graph.num_vertices() == 10
+        assert graph.num_edges() == 5 + 2 * 4
+
+    def test_degenerate_line(self):
+        graph = grid_graph(1, 6)
+        assert graph.num_edges() == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0)
+
+
+class TestRandomGraphs:
+    def test_gnp_reproducible(self):
+        assert random_gnp(20, 0.3, seed=5) == random_gnp(20, 0.3, seed=5)
+
+    def test_gnp_density(self):
+        graph = random_gnp(60, 0.5, seed=1)
+        expected = 0.5 * 60 * 59 / 2
+        assert abs(graph.num_edges() - expected) < 0.15 * expected
+
+    def test_gnp_extremes(self):
+        assert random_gnp(10, 0.0, seed=0).num_edges() == 0
+        assert random_gnp(10, 1.0, seed=0).num_edges() == 45
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_gnp(5, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        graph = random_gnm(30, 100, seed=3)
+        assert graph.num_vertices() == 30
+        assert graph.num_edges() == 100
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_gnm(4, 10)
+
+    def test_gnm_reproducible(self):
+        assert random_gnm(15, 40, seed=2) == random_gnm(15, 40, seed=2)

@@ -1,0 +1,76 @@
+"""Tests for the named instance registry."""
+
+import pytest
+
+from repro.hypergraphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.instances.registry import (
+    SIMULATED_CIRCUITS,
+    SIMULATED_DIMACS,
+    graph_instance,
+    hypergraph_instance,
+    instance,
+)
+
+
+class TestGraphNames:
+    def test_queen(self):
+        graph = graph_instance("queen5_5")
+        assert graph.num_vertices() == 25
+
+    def test_non_square_queen_rejected(self):
+        with pytest.raises(ValueError):
+            graph_instance("queen5_6")
+
+    def test_myciel(self):
+        assert graph_instance("myciel4").num_vertices() == 23
+
+    def test_grid(self):
+        assert graph_instance("grid6").num_vertices() == 36
+
+    def test_dsjc(self):
+        graph = graph_instance("DSJC125.1")
+        assert graph.num_vertices() == 125
+        density = graph.num_edges() / (125 * 124 / 2)
+        assert 0.05 < density < 0.15
+
+    def test_simulated_dimacs_sizes(self):
+        for name, (vertices, edges) in list(SIMULATED_DIMACS.items())[:5]:
+            graph = graph_instance(name)
+            assert graph.num_vertices() == vertices
+            assert graph.num_edges() == edges
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            graph_instance("not_a_graph")
+
+
+class TestHypergraphNames:
+    @pytest.mark.parametrize(
+        "name", ["adder_5", "bridge_4", "clique_8", "grid2d_4", "grid3d_2"]
+    )
+    def test_parameterised_families(self, name):
+        hypergraph = hypergraph_instance(name)
+        assert hypergraph.num_edges() > 0
+
+    def test_circuits(self):
+        for name in SIMULATED_CIRCUITS:
+            hypergraph = hypergraph_instance(name)
+            inputs, gates = SIMULATED_CIRCUITS[name]
+            assert hypergraph.num_vertices() == inputs + gates
+            assert hypergraph.num_edges() == gates
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            hypergraph_instance("wat_99")
+
+
+class TestGenericLookup:
+    def test_dispatches_to_graph(self):
+        assert isinstance(instance("queen4_4"), Graph)
+
+    def test_dispatches_to_hypergraph(self):
+        assert isinstance(instance("adder_3"), Hypergraph)
+
+    def test_reproducible_simulations(self):
+        assert graph_instance("anna") == graph_instance("anna")

@@ -1,0 +1,135 @@
+"""End-to-end integration tests: the full thesis pipeline.
+
+Each test tells one complete story the thesis tells: model a problem as
+a CSP, derive its constraint hypergraph, find a decomposition with one
+of the thesis's algorithms, solve the CSP from that decomposition, and
+check the answer against direct search.
+"""
+
+import pytest
+
+from repro.core.api import (
+    decompose,
+    decompose_graph,
+    generalized_hypertree_width,
+    ghw_upper_bound,
+    treewidth,
+    treewidth_upper_bound,
+)
+from repro.csp.backtracking import backtracking_solve, count_solutions
+from repro.csp.builders import (
+    australia_map_coloring,
+    graph_coloring_csp,
+    n_queens_csp,
+    random_binary_csp,
+    sat_csp,
+)
+from repro.csp.solve import solve_with_ghd, solve_with_tree_decomposition
+from repro.genetic.engine import GAParameters
+from repro.genetic.ga_ghw import ga_ghw
+from repro.instances.dimacs_like import grid_graph, mycielski_graph
+from repro.instances.hypergraphs import adder, random_csp_hypergraph
+
+
+class TestFullPipelineStories:
+    def test_map_coloring_via_tree_decomposition(self):
+        """Example 1 solved exactly as Section 2.4 describes."""
+        csp = australia_map_coloring()
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        decomposition = decompose_graph(
+            hypergraph.primal_graph(), algorithm="astar"
+        )
+        assert decomposition.width() <= 3
+        solution = solve_with_tree_decomposition(csp, decomposition)
+        assert csp.is_solution(solution)
+
+    def test_sat_via_ghd(self):
+        """Example 2's SAT instance through the GHD pipeline."""
+        csp = sat_csp([[-1, 2, 3], [1, -4], [-3, -5]])
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        ghd = decompose(hypergraph, algorithm="bb")
+        assert ghd.width() <= 2
+        solution = solve_with_ghd(csp, ghd)
+        assert csp.is_solution(solution)
+
+    def test_queens_structure_and_solving(self):
+        """n-queens: dense binary CSP; decomposition still solves it."""
+        csp = n_queens_csp(5)
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        ghd = decompose(hypergraph, algorithm="min-fill", cover="greedy")
+        solution = solve_with_ghd(csp, ghd)
+        assert csp.is_solution(solution)
+        assert count_solutions(csp, limit=1) == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_csp_all_three_solvers_agree(self, seed):
+        csp = random_binary_csp(
+            7, 3, density=0.45, tightness=0.45, seed=seed
+        )
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        direct = backtracking_solve(csp)
+        td = decompose_graph(hypergraph.primal_graph(), algorithm="min-fill")
+        via_td = solve_with_tree_decomposition(csp, td)
+        ghd = decompose(hypergraph, algorithm="ga", cover="greedy")
+        via_ghd = solve_with_ghd(csp, ghd)
+        assert (direct is None) == (via_td is None) == (via_ghd is None)
+
+    def test_unsatisfiable_detected_through_every_pipeline(self):
+        csp = graph_coloring_csp(mycielski_graph(3), colors=3)
+        # myciel3 has chromatic number 4: 3-colouring is unsatisfiable
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        td = decompose_graph(hypergraph.primal_graph(), algorithm="min-fill")
+        ghd = decompose(hypergraph, algorithm="min-fill", cover="greedy")
+        assert backtracking_solve(csp) is None
+        assert solve_with_tree_decomposition(csp, td) is None
+        assert solve_with_ghd(csp, ghd) is None
+
+
+class TestWidthHierarchy:
+    """ghw <= tw + 1-ish relationships the thesis states."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ghw_never_exceeds_treewidth_plus_one_bags(self, seed):
+        hypergraph = random_csp_hypergraph(7, 6, arity=3, seed=seed)
+        tw = treewidth(hypergraph).value
+        ghw = generalized_hypertree_width(hypergraph).value
+        # covering a (tw+1)-vertex bag takes at most tw+1 edges
+        assert ghw <= tw + 1
+
+    def test_heuristics_bracket_exact_values(self):
+        hypergraph = adder(4)
+        exact = generalized_hypertree_width(hypergraph).value
+        ga = ghw_upper_bound(
+            hypergraph,
+            "ga",
+            parameters=GAParameters(population_size=15, max_iterations=20),
+        )
+        assert exact <= ga
+
+    def test_tw_heuristic_vs_exact(self):
+        graph = grid_graph(3)
+        exact = treewidth(graph).value
+        heuristic = treewidth_upper_bound(graph, "min-fill")
+        assert exact <= heuristic
+
+
+class TestAnytimeWorkflow:
+    def test_budgeted_run_then_full_run(self):
+        """The workflow Table 5.1 implies: try with a budget, read off
+        bounds, re-run with more budget for the certificate."""
+        graph = grid_graph(4)
+        quick = treewidth(graph, node_limit=3)
+        assert quick.lower_bound <= 4 <= quick.upper_bound
+        full = treewidth(graph)
+        assert full.optimal and full.value == 4
+        assert quick.lower_bound <= full.value <= quick.upper_bound
+
+    def test_ga_warm_start_quality(self, example5):
+        """GA quickly matches what BB certifies on a small instance."""
+        certified = generalized_hypertree_width(example5).value
+        ga = ga_ghw(
+            example5,
+            parameters=GAParameters(population_size=20, max_iterations=20),
+            seed=0,
+        )
+        assert ga.best_fitness == certified

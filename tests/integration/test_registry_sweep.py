@@ -1,0 +1,69 @@
+"""Registry-wide smoke sweep: every named instance must work end to end.
+
+One cheap operation per instance family keeps the whole registry honest:
+graphs get heuristic bounds (lb <= ub always), small hypergraphs get a
+validated greedy GHD, and simulated instances must regenerate
+deterministically.
+"""
+
+import pytest
+
+from repro.bounds.lower import treewidth_lower_bound
+from repro.bounds.upper import upper_bound_ordering
+from repro.core.api import decompose, validate_hypergraph
+from repro.instances.registry import (
+    SIMULATED_CIRCUITS,
+    SIMULATED_DIMACS,
+    graph_instance,
+    hypergraph_instance,
+)
+
+GRAPH_NAMES = (
+    ["queen4_4", "queen5_5", "queen6_6", "myciel3", "myciel4", "myciel5",
+     "grid3", "grid5", "grid7", "DSJC125.1"]
+    + list(SIMULATED_DIMACS)[:6]
+)
+
+HYPERGRAPH_NAMES = [
+    "adder_4", "adder_20", "bridge_6", "clique_9",
+    "grid2d_5", "grid3d_2", "b06", "b08",
+]
+
+
+class TestGraphSweep:
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_bounds_are_consistent(self, name):
+        graph = graph_instance(name)
+        assert graph.num_vertices() > 0
+        lower = treewidth_lower_bound(graph)
+        upper, ordering = upper_bound_ordering(graph, "min-degree")
+        assert 0 <= lower <= upper <= graph.num_vertices() - 1
+        assert sorted(ordering, key=repr) == sorted(
+            graph.vertices(), key=repr
+        )
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES[:6])
+    def test_regeneration_is_deterministic(self, name):
+        assert graph_instance(name) == graph_instance(name)
+
+
+class TestHypergraphSweep:
+    @pytest.mark.parametrize("name", HYPERGRAPH_NAMES)
+    def test_instances_are_well_formed(self, name):
+        hypergraph = hypergraph_instance(name)
+        validate_hypergraph(hypergraph)
+        assert hypergraph.is_connected()
+
+    @pytest.mark.parametrize(
+        "name", ["adder_4", "bridge_6", "clique_9", "grid2d_5", "b06"]
+    )
+    def test_greedy_ghd_validates(self, name):
+        hypergraph = hypergraph_instance(name)
+        ghd = decompose(hypergraph, algorithm="min-fill", cover="greedy")
+        ghd.validate(hypergraph)
+        assert ghd.is_complete(hypergraph)
+        assert ghd.width() >= 1
+
+    @pytest.mark.parametrize("name", list(SIMULATED_CIRCUITS))
+    def test_circuits_regenerate_identically(self, name):
+        assert hypergraph_instance(name) == hypergraph_instance(name)

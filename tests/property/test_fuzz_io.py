@@ -1,0 +1,97 @@
+"""Fuzzing the file-format parsers: they must never crash uncleanly.
+
+Parsers face untrusted text; every outcome must be either a parsed
+object or a :class:`FormatError`-family exception — no ``IndexError``,
+``KeyError`` or silent corruption. Round-trip properties are fuzzed
+with structured generators.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decompositions.io import (
+    format_tree_decomposition,
+    parse_ghd,
+    parse_tree_decomposition,
+)
+from repro.decompositions.elimination import ordering_to_tree_decomposition
+from repro.hypergraphs.io import (
+    FormatError,
+    parse_dimacs,
+    parse_hypergraph,
+    write_dimacs,
+)
+from repro.instances.dimacs_like import random_gnp
+
+ACCEPTABLE = (FormatError, ValueError)
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_dimacs_parser_never_crashes(text):
+    try:
+        parse_dimacs(text)
+    except ACCEPTABLE:
+        pass
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_hypergraph_parser_never_crashes(text):
+    try:
+        parse_hypergraph(text)
+    except ACCEPTABLE:
+        pass
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_td_parser_never_crashes(text):
+    try:
+        parse_tree_decomposition(text)
+    except ACCEPTABLE:
+        pass
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_ghd_parser_never_crashes(text):
+    try:
+        parse_ghd(text)
+    except ACCEPTABLE:
+        pass
+
+
+@given(
+    st.integers(2, 12),
+    st.floats(0.1, 0.9),
+    st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_dimacs_roundtrip_random_graphs(n, p, seed):
+    import tempfile
+    from pathlib import Path
+
+    graph = random_gnp(n, p, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.col"
+        write_dimacs(graph, path)
+        loaded = parse_dimacs(path.read_text())
+    assert loaded.num_vertices() == graph.num_vertices()
+    assert loaded.num_edges() == graph.num_edges()
+
+
+@given(st.integers(2, 10), st.floats(0.2, 0.8), st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_td_roundtrip_random_decompositions(n, p, seed):
+    graph = random_gnp(n, p, seed=seed)
+    decomposition = ordering_to_tree_decomposition(
+        graph, sorted(graph.vertices())
+    )
+    text = format_tree_decomposition(decomposition)
+    loaded = parse_tree_decomposition(text)
+    assert loaded.num_nodes() == decomposition.num_nodes()
+    assert loaded.width() == decomposition.width()
+    assert loaded.is_tree()

@@ -1,0 +1,86 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+The elimination graph's eliminate/restore/switch_to trio is the engine
+under every exact search; a bookkeeping slip there silently corrupts
+widths. The state machine below drives it through arbitrary interleaved
+operation sequences against a trivially-correct model (rebuild from
+scratch each time) and checks full graph equality after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.hypergraphs.elimination_graph import EliminationGraph
+from repro.hypergraphs.graph import Graph
+from repro.instances.dimacs_like import random_gnp
+
+
+def rebuild(graph: Graph, prefix: list) -> Graph:
+    """The oracle: re-eliminate the prefix on a fresh copy."""
+    fresh = graph.copy()
+    for vertex in prefix:
+        fresh.eliminate(vertex)
+    return fresh
+
+
+class EliminationMachine(RuleBasedStateMachine):
+    @initialize(
+        seed=st.integers(0, 200),
+        n=st.integers(2, 9),
+        density=st.floats(0.1, 0.9),
+    )
+    def setup(self, seed, n, density):
+        self.base = random_gnp(n, density, seed=seed)
+        self.working = EliminationGraph(self.base)
+        self.prefix: list = []
+
+    @rule(choice=st.integers(0, 10**6))
+    def eliminate_some_vertex(self, choice):
+        remaining = sorted(self.working.vertices())
+        if not remaining:
+            return
+        vertex = remaining[choice % len(remaining)]
+        self.working.eliminate(vertex)
+        self.prefix.append(vertex)
+
+    @rule()
+    def restore_one(self):
+        if not self.prefix:
+            return
+        restored = self.working.restore()
+        expected = self.prefix.pop()
+        assert restored == expected
+
+    @rule(choice=st.integers(0, 10**6), length=st.integers(0, 9))
+    def switch_to_random_prefix(self, choice, length):
+        vertices = sorted(self.base.vertices())
+        # deterministic pseudo-random prefix from the draw
+        wanted: list = []
+        state = choice
+        pool = list(vertices)
+        for _ in range(min(length, len(pool))):
+            state = (state * 1103515245 + 12345) % (2**31)
+            wanted.append(pool.pop(state % len(pool)))
+        self.working.switch_to(wanted)
+        self.prefix = list(wanted)
+
+    @invariant()
+    def graph_matches_oracle(self):
+        if not hasattr(self, "working"):
+            return
+        assert self.working.graph() == rebuild(self.base, self.prefix)
+        assert self.working.eliminated() == self.prefix
+
+
+TestEliminationMachine = EliminationMachine.TestCase
+TestEliminationMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

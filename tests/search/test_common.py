@@ -1,0 +1,68 @@
+"""Tests for search infrastructure (budgets and results)."""
+
+import pytest
+
+from repro.search.common import (
+    SearchBudget,
+    SearchResult,
+    certified,
+    interrupted,
+)
+
+
+class TestBudget:
+    def test_node_limit(self):
+        budget = SearchBudget(node_limit=3)
+        assert not budget.exhausted()
+        for _ in range(3):
+            budget.charge()
+        assert budget.exhausted()
+
+    def test_time_limit(self):
+        budget = SearchBudget(time_limit=0.0)
+        assert budget.exhausted()
+
+    def test_unlimited(self):
+        budget = SearchBudget()
+        for _ in range(1000):
+            budget.charge()
+        assert not budget.exhausted()
+
+    def test_elapsed_nonnegative(self):
+        assert SearchBudget().elapsed() >= 0.0
+
+
+class TestResult:
+    def test_certified(self):
+        budget = SearchBudget()
+        result = certified(5, [1, 2, 3], budget, "test")
+        assert result.optimal
+        assert result.value == 5
+        assert result.lower_bound == result.upper_bound == 5
+        assert result.gap == 0
+
+    def test_interrupted(self):
+        budget = SearchBudget()
+        result = interrupted(3, 7, [1], budget, "test")
+        assert not result.optimal
+        assert result.value is None
+        assert result.gap == 4
+
+    def test_interrupted_with_met_bounds_is_certified(self):
+        budget = SearchBudget()
+        result = interrupted(7, 7, [1], budget, "test")
+        assert result.optimal
+        assert result.value == 7
+
+    def test_invalid_optimal_combinations(self):
+        with pytest.raises(ValueError):
+            SearchResult(
+                value=None, lower_bound=1, upper_bound=1, optimal=True
+            )
+        with pytest.raises(ValueError):
+            SearchResult(value=2, lower_bound=1, upper_bound=3, optimal=True)
+
+    def test_summary_mentions_status(self):
+        budget = SearchBudget()
+        assert "optimal" in certified(5, [], budget, "x").summary()
+        assert "interrupted" in interrupted(1, 2, [], budget, "x").summary()
