@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from contextlib import contextmanager
 
+from repro import obs
 from repro.core.api import (
     decompose,
     decompose_graph,
@@ -33,6 +36,8 @@ from repro.hypergraphs.graph import Graph
 from repro.hypergraphs.hypergraph import Hypergraph
 from repro.hypergraphs.io import read_dimacs, read_hypergraph
 from repro.instances.registry import instance as registry_instance
+from repro.obs.render import render_metrics, render_spans
+from repro.obs.report import RunReport, append_jsonl
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--node-limit", type=int, default=None, help="search node budget"
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metric counters to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the run's span tree (phase timings) to stderr",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="append a structured RunReport for this run as a JSON line",
+    )
     return parser
 
 
@@ -92,20 +113,47 @@ def _load(args: argparse.Namespace) -> Graph | Hypergraph:
     return read_hypergraph(args.file)
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        loaded = _load(args)
-    except (KeyError, OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+def _search_fields(result) -> dict:
+    """Structured outcome of an exact SearchResult for telemetry."""
+    if result.optimal:
+        return {
+            "status": "optimal",
+            "value": result.value,
+            "lower_bound": result.lower_bound,
+            "upper_bound": result.upper_bound,
+        }
+    return {
+        "status": "interrupted",
+        "value": None,
+        "lower_bound": result.lower_bound,
+        "upper_bound": result.upper_bound,
+    }
 
-    label = args.instance or args.file
-    if isinstance(loaded, Hypergraph):
-        size = f"|V|={loaded.num_vertices()} |H|={loaded.num_edges()}"
-    else:
-        size = f"|V|={loaded.num_vertices()} |E|={loaded.num_edges()}"
 
+def _bound_fields(bound: int) -> dict:
+    """Structured outcome of a heuristic upper bound for telemetry."""
+    return {
+        "status": "heuristic",
+        "value": None,
+        "lower_bound": None,
+        "upper_bound": bound,
+    }
+
+
+@contextmanager
+def _plain_context():
+    """Stand-in for ``obs.instrument()`` when telemetry flags are off."""
+    yield obs.DISABLED
+
+
+def _run_measure(
+    args: argparse.Namespace,
+    loaded: Graph | Hypergraph,
+    label: str,
+    size: str,
+) -> tuple[int, dict]:
+    """Run the requested width computation; return (exit code, fields)."""
+    fields: dict = {}
     if args.measure == "tw":
         if args.algorithm in ("astar", "bb"):
             result = treewidth(
@@ -116,6 +164,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
             )
             print(f"{label}  {size}  {result.summary()}")
+            fields = _search_fields(result)
         elif args.algorithm in ("sa", "tabu"):
             from repro.localsearch import sa_treewidth, tabu_treewidth
 
@@ -124,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
                 loaded, seed=args.seed, time_limit=args.time_limit
             ).best_fitness
             print(f"{label}  {size}  tw <= {bound} ({args.algorithm})")
+            fields = _bound_fields(bound)
         else:
             bound = treewidth_upper_bound(
                 loaded,
@@ -132,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
                 time_limit=args.time_limit,
             )
             print(f"{label}  {size}  tw <= {bound} ({args.algorithm})")
+            fields = _bound_fields(bound)
         if args.output:
             graph = (
                 loaded.primal_graph()
@@ -152,9 +203,15 @@ def main(argv: list[str] | None = None) -> int:
     elif args.measure == "hw":
         if not isinstance(loaded, Hypergraph):
             print("error: hw needs a hypergraph instance", file=sys.stderr)
-            return 2
+            return 2, fields
         k, decomposition = hypertree_width(loaded)
         print(f"{label}  {size}  hw = {k}")
+        fields = {
+            "status": "optimal",
+            "value": k,
+            "lower_bound": k,
+            "upper_bound": k,
+        }
         if args.output:
             write_ghd(decomposition.ghd, args.output)
             print(f"wrote {args.output}")
@@ -163,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 "error: ghw needs a hypergraph instance", file=sys.stderr
             )
-            return 2
+            return 2, fields
         if args.algorithm in ("astar", "bb"):
             result = generalized_hypertree_width(
                 loaded,
@@ -173,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
             )
             print(f"{label}  {size}  {result.summary()}")
+            fields = _search_fields(result)
         elif args.algorithm in ("sa", "tabu"):
             from repro.localsearch import sa_ghw, tabu_ghw
 
@@ -181,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
                 loaded, seed=args.seed, time_limit=args.time_limit
             ).best_fitness
             print(f"{label}  {size}  ghw <= {bound} ({args.algorithm})")
+            fields = _bound_fields(bound)
         else:
             bound = ghw_upper_bound(
                 loaded,
@@ -189,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
                 time_limit=args.time_limit,
             )
             print(f"{label}  {size}  ghw <= {bound} ({args.algorithm})")
+            fields = _bound_fields(bound)
         if args.output:
             ghd = decompose(
                 loaded,
@@ -201,6 +261,53 @@ def main(argv: list[str] | None = None) -> int:
             )
             write_ghd(ghd, args.output)
             print(f"wrote {args.output}")
+    return 0, fields
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        loaded = _load(args)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    label = args.instance or args.file
+    if isinstance(loaded, Hypergraph):
+        size = f"|V|={loaded.num_vertices()} |H|={loaded.num_edges()}"
+    else:
+        size = f"|V|={loaded.num_vertices()} |E|={loaded.num_edges()}"
+
+    telemetry = args.metrics or args.trace or args.telemetry_out is not None
+    context = obs.instrument() if telemetry else _plain_context()
+    started = time.monotonic()
+    with context as ins:
+        code, fields = _run_measure(args, loaded, label, size)
+    if code != 0:
+        return code
+
+    if telemetry:
+        report = RunReport.capture(
+            ins,
+            instance=label,
+            solver=args.algorithm if args.measure != "hw" else "hw",
+            measure=args.measure,
+            elapsed_s=time.monotonic() - started,
+            meta={"seed": args.seed},
+            **fields,
+        )
+        if args.metrics:
+            print("-- metrics --", file=sys.stderr)
+            print(render_metrics(ins.metrics.snapshot()), file=sys.stderr)
+        if args.trace:
+            print("-- trace --", file=sys.stderr)
+            print(render_spans(ins.tracer.tree()), file=sys.stderr)
+        if args.telemetry_out:
+            try:
+                append_jsonl(args.telemetry_out, report)
+            except OSError as exc:
+                print(f"error: cannot write telemetry: {exc}", file=sys.stderr)
+                return 2
     return 0
 
 

@@ -18,6 +18,7 @@ the backtracking baseline in the test suite.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.csp.acyclic import solve_relation_tree
 from repro.csp.problem import CSP
 from repro.csp.relations import Relation, Value, VariableName, join_all
@@ -60,40 +61,54 @@ def solve_with_tree_decomposition(
     The decomposition must be valid for the CSP's constraint hypergraph
     (checked; a :class:`DecompositionError` is raised otherwise).
     """
-    hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
-    decomposition.validate(hypergraph)
+    ins = obs.current()
+    metrics = ins.metrics
+    with ins.tracer.span("jtc", nodes=decomposition.num_nodes()):
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        decomposition.validate(hypergraph)
 
-    # Step 1: place each constraint at one node containing its scope.
-    placement: dict[int, list] = {node: [] for node in decomposition.nodes()}
-    for constraint in csp.constraints:
-        scope = set(constraint.scope)
-        host = next(
-            node
-            for node in decomposition.nodes()
-            if scope <= decomposition.bags[node]
-        )
-        placement[host].append(constraint)
-
-    # Step 2: solve each subproblem — join the placed constraints, then
-    # extend over the bag's remaining variables with their full domains.
-    relations: dict[int, Relation] = {}
-    for node in decomposition.nodes():
-        bag = decomposition.bags[node]
-        relation = join_all(
-            [constraint.relation for constraint in placement[node]]
-        )
-        for variable in sorted(bag - set(relation.schema), key=repr):
-            relation = relation.join(
-                Relation.full(variable, csp.domains[variable])
+        # Step 1: place each constraint at one node containing its scope.
+        placement: dict[int, list] = {
+            node: [] for node in decomposition.nodes()
+        }
+        for constraint in csp.constraints:
+            scope = set(constraint.scope)
+            host = next(
+                node
+                for node in decomposition.nodes()
+                if scope <= decomposition.bags[node]
             )
-        relations[node] = relation.project(sorted(bag, key=repr))
-        if relations[node].is_empty() and bag:
-            return None
+            placement[host].append(constraint)
 
-    # Step 3: Acyclic Solving over the resulting join tree.
-    parents = _tree_parent_map(decomposition)
-    assignment = solve_relation_tree(relations, parents)
-    return _finalise(csp, assignment)
+        # Step 2: solve each subproblem — join the placed constraints, then
+        # extend over the bag's remaining variables with their full domains.
+        relations: dict[int, Relation] = {}
+        with ins.tracer.span("build_relations"):
+            for node in decomposition.nodes():
+                bag = decomposition.bags[node]
+                relation = join_all(
+                    [constraint.relation for constraint in placement[node]]
+                )
+                for variable in sorted(bag - set(relation.schema), key=repr):
+                    relation = relation.join(
+                        Relation.full(variable, csp.domains[variable])
+                    )
+                relations[node] = relation.project(sorted(bag, key=repr))
+                if relations[node].is_empty() and bag:
+                    return None
+        if metrics.enabled:
+            metrics.counter("csp_relations", pipeline="jtc").inc(
+                len(relations)
+            )
+            metrics.counter("csp_tuples", pipeline="jtc").inc(
+                sum(len(r.tuples) for r in relations.values())
+            )
+
+        # Step 3: Acyclic Solving over the resulting join tree.
+        parents = _tree_parent_map(decomposition)
+        with ins.tracer.span("acyclic_solving"):
+            assignment = solve_relation_tree(relations, parents)
+        return _finalise(csp, assignment)
 
 
 def solve_with_ghd(
@@ -105,28 +120,45 @@ def solve_with_ghd(
     do when the GHD was built from ``csp.constraint_hypergraph()``). The
     GHD is completed first (Lemma 2) so every constraint is enforced.
     """
-    hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
-    ghd.validate(hypergraph)
-    complete = make_complete(ghd, hypergraph)
+    ins = obs.current()
+    metrics = ins.metrics
+    with ins.tracer.span("ghd_solve", nodes=ghd.tree.num_nodes()):
+        hypergraph = csp.constraint_hypergraph(include_unconstrained=False)
+        ghd.validate(hypergraph)
+        with ins.tracer.span("complete_ghd"):
+            complete = make_complete(ghd, hypergraph)
 
-    constraint_relation = {
-        constraint.name: constraint.relation for constraint in csp.constraints
-    }
-    relations: dict[int, Relation] = {}
-    for node in complete.nodes():
-        bag = complete.bag(node)
-        joined = join_all(
-            [constraint_relation[name] for name in sorted(complete.cover(node), key=repr)]
-        )
-        relations[node] = joined.project(
-            [v for v in sorted(joined.schema, key=repr) if v in bag]
-        )
-        if relations[node].is_empty() and bag:
-            return None
+        constraint_relation = {
+            constraint.name: constraint.relation
+            for constraint in csp.constraints
+        }
+        relations: dict[int, Relation] = {}
+        with ins.tracer.span("build_relations"):
+            for node in complete.nodes():
+                bag = complete.bag(node)
+                joined = join_all(
+                    [
+                        constraint_relation[name]
+                        for name in sorted(complete.cover(node), key=repr)
+                    ]
+                )
+                relations[node] = joined.project(
+                    [v for v in sorted(joined.schema, key=repr) if v in bag]
+                )
+                if relations[node].is_empty() and bag:
+                    return None
+        if metrics.enabled:
+            metrics.counter("csp_relations", pipeline="ghd").inc(
+                len(relations)
+            )
+            metrics.counter("csp_tuples", pipeline="ghd").inc(
+                sum(len(r.tuples) for r in relations.values())
+            )
 
-    parents = _tree_parent_map(complete.tree)
-    assignment = solve_relation_tree(relations, parents)
-    return _finalise(csp, assignment)
+        parents = _tree_parent_map(complete.tree)
+        with ins.tracer.span("acyclic_solving"):
+            assignment = solve_relation_tree(relations, parents)
+        return _finalise(csp, assignment)
 
 
 def solutions_equal_modulo_free_variables(

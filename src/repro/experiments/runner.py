@@ -23,12 +23,15 @@ into any further analysis.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.genetic.engine import GAParameters
 from repro.hypergraphs.graph import Graph
 from repro.hypergraphs.hypergraph import Hypergraph
 from repro.instances.registry import instance as registry_instance
+from repro.obs.report import RunReport, append_jsonl
 
 EXACT_TW = ("astar", "bb")
 EXACT_GHW = ("astar", "bb")
@@ -75,6 +78,9 @@ class ExperimentTable:
     columns: list[str]
     rows: list[dict] = field(default_factory=list)
 
+    reports: list[RunReport] = field(default_factory=list)
+    """One telemetry report per (instance, algorithm) cell, when enabled."""
+
     def to_text(self) -> str:
         headers = ["instance", "V", "size"] + self.columns
         grid = [headers]
@@ -93,7 +99,38 @@ class ExperimentTable:
         return [row[name] for row in self.rows]
 
 
-def _run_tw_algorithm(name, graph, spec):
+def _exact_fields(result) -> tuple[str | int, dict]:
+    """Cell text plus structured outcome for an exact SearchResult."""
+    if result.optimal:
+        cell: str | int = result.value
+        fields = {
+            "status": "optimal",
+            "value": result.value,
+            "lower_bound": result.lower_bound,
+            "upper_bound": result.upper_bound,
+        }
+    else:
+        cell = f"{result.lower_bound}*[{result.upper_bound}]"
+        fields = {
+            "status": "interrupted",
+            "value": None,
+            "lower_bound": result.lower_bound,
+            "upper_bound": result.upper_bound,
+        }
+    return cell, fields
+
+
+def _heuristic_fields(best_fitness: int) -> tuple[int, dict]:
+    """Heuristics certify only an upper bound."""
+    return best_fitness, {
+        "status": "heuristic",
+        "value": None,
+        "lower_bound": None,
+        "upper_bound": best_fitness,
+    }
+
+
+def _run_tw_algorithm(name, graph, spec) -> tuple[str | int, dict]:
     from repro.core.api import treewidth, treewidth_upper_bound
     from repro.localsearch import sa_treewidth, tabu_treewidth
 
@@ -105,30 +142,33 @@ def _run_tw_algorithm(name, graph, spec):
             node_limit=spec.node_limit,
             seed=spec.seed,
         )
-        if result.optimal:
-            return result.value
-        return f"{result.lower_bound}*[{result.upper_bound}]"
+        return _exact_fields(result)
     if name == "sa":
-        return sa_treewidth(
+        result = sa_treewidth(
             graph, seed=spec.seed, time_limit=spec.time_limit
-        ).best_fitness
+        )
+        return _heuristic_fields(result.best_fitness)
     if name == "tabu":
-        return tabu_treewidth(
+        result = tabu_treewidth(
             graph, seed=spec.seed, time_limit=spec.time_limit
-        ).best_fitness
+        )
+        return _heuristic_fields(result.best_fitness)
     if name == "ga":
         from repro.genetic.ga_tw import ga_treewidth
 
-        return ga_treewidth(
+        result = ga_treewidth(
             graph,
             parameters=spec.ga_parameters,
             seed=spec.seed,
             time_limit=spec.time_limit,
-        ).best_fitness
-    return treewidth_upper_bound(graph, method=name, seed=spec.seed)
+        )
+        return _heuristic_fields(result.best_fitness)
+    return _heuristic_fields(
+        treewidth_upper_bound(graph, method=name, seed=spec.seed)
+    )
 
 
-def _run_ghw_algorithm(name, hypergraph, spec):
+def _run_ghw_algorithm(name, hypergraph, spec) -> tuple[str | int, dict]:
     from repro.core.api import generalized_hypertree_width
     from repro.localsearch import sa_ghw, tabu_ghw
 
@@ -140,36 +180,50 @@ def _run_ghw_algorithm(name, hypergraph, spec):
             node_limit=spec.node_limit,
             seed=spec.seed,
         )
-        if result.optimal:
-            return result.value
-        return f"{result.lower_bound}*[{result.upper_bound}]"
+        return _exact_fields(result)
     if name == "sa":
-        return sa_ghw(
+        result = sa_ghw(
             hypergraph, seed=spec.seed, time_limit=spec.time_limit
-        ).best_fitness
+        )
+        return _heuristic_fields(result.best_fitness)
     if name == "tabu":
-        return tabu_ghw(
+        result = tabu_ghw(
             hypergraph, seed=spec.seed, time_limit=spec.time_limit
-        ).best_fitness
+        )
+        return _heuristic_fields(result.best_fitness)
     if name == "saiga":
         from repro.genetic.saiga import saiga_ghw
 
-        return saiga_ghw(
+        result = saiga_ghw(
             hypergraph, seed=spec.seed, time_limit=spec.time_limit
-        ).best_fitness
+        )
+        return _heuristic_fields(result.best_fitness)
     from repro.genetic.ga_ghw import ga_ghw
 
-    return ga_ghw(
+    result = ga_ghw(
         hypergraph,
         parameters=spec.ga_parameters,
         seed=spec.seed,
         time_limit=spec.time_limit,
-    ).best_fitness
+    )
+    return _heuristic_fields(result.best_fitness)
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentTable:
-    """Execute the spec and return the filled table."""
+def run_experiment(
+    spec: ExperimentSpec,
+    telemetry_out: str | None = None,
+    collect_reports: bool = False,
+) -> ExperimentTable:
+    """Execute the spec and return the filled table.
+
+    With ``telemetry_out`` (a ``.jsonl`` path) or ``collect_reports``,
+    every (instance, algorithm) cell runs under ``repro.obs``
+    instrumentation and yields one :class:`RunReport`; reports land in
+    ``table.reports`` and, if a path was given, are appended to the file
+    as JSON lines.
+    """
     spec = spec.validated()
+    telemetry = telemetry_out is not None or collect_reports
     table = ExperimentTable(measure=spec.measure, columns=list(spec.algorithms))
     for name in spec.instances:
         loaded = registry_instance(name)
@@ -178,13 +232,37 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentTable:
         row: dict = {"instance": name, "V": _num_vertices(loaded), "size": _size(loaded)}
         for algorithm in spec.algorithms:
             started = time.monotonic()
-            if spec.measure == "tw":
-                row[algorithm] = _run_tw_algorithm(algorithm, loaded, spec)
-            else:
-                row[algorithm] = _run_ghw_algorithm(algorithm, loaded, spec)
-            row[f"{algorithm}_s"] = round(time.monotonic() - started, 2)
+            with obs.instrument() if telemetry else _noop_context() as ins:
+                if spec.measure == "tw":
+                    cell, fields = _run_tw_algorithm(algorithm, loaded, spec)
+                else:
+                    cell, fields = _run_ghw_algorithm(algorithm, loaded, spec)
+            elapsed = time.monotonic() - started
+            row[algorithm] = cell
+            row[f"{algorithm}_s"] = round(elapsed, 2)
+            if telemetry:
+                table.reports.append(
+                    RunReport.capture(
+                        ins,
+                        instance=name,
+                        solver=algorithm,
+                        measure=spec.measure,
+                        elapsed_s=elapsed,
+                        meta={"seed": spec.seed},
+                        **fields,
+                    )
+                )
         table.rows.append(row)
+    if telemetry_out is not None:
+        for report in table.reports:
+            append_jsonl(telemetry_out, report)
     return table
+
+
+@contextmanager
+def _noop_context():
+    """Stand-in for ``obs.instrument()`` when telemetry is off."""
+    yield obs.DISABLED
 
 
 def _num_vertices(instance: Graph | Hypergraph) -> int:

@@ -17,14 +17,15 @@ wall-clock budget and a known-optimum early stop so tests stay fast.
 from __future__ import annotations
 
 import random
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.genetic.crossover import CrossoverOperator, get_crossover
 from repro.genetic.mutation import MutationOperator, get_mutation
 from repro.genetic.selection import best_individual, tournament_selection
 from repro.hypergraphs.graph import Vertex
+from repro.obs.budget import Budget
 
 Permutation = list[Vertex]
 Evaluator = Callable[[Sequence[Vertex]], int]
@@ -70,6 +71,9 @@ class GAResult:
     """Best-so-far fitness after each generation (generation 0 included)."""
 
     elapsed: float = 0.0
+
+    metrics: dict = field(default_factory=dict)
+    """``repro.obs`` snapshot at run end (empty when uninstrumented)."""
 
 
 def _initial_population(
@@ -119,60 +123,84 @@ def run_ga(
     parameters = parameters.validated()
     crossover: CrossoverOperator = get_crossover(parameters.crossover)
     mutation: MutationOperator = get_mutation(parameters.mutation)
-    start = time.monotonic()
+    budget = Budget(time_limit=time_limit)
+    ins = obs.current()
+    metrics = ins.metrics
+    generations_total = metrics.counter("generations", solver="ga")
+    evaluations_total = metrics.counter("evaluations", solver="ga")
+    generation_seconds = metrics.histogram("generation_seconds", solver="ga")
 
-    population = _initial_population(
-        elements, parameters.population_size, rng, seeds
-    )
-    fitnesses = [evaluate(individual) for individual in population]
-    evaluations = len(population)
-    champion, champion_fitness = best_individual(population, fitnesses)
-    history = [champion_fitness]
+    with ins.tracer.span(
+        "ga",
+        population=parameters.population_size,
+        crossover=parameters.crossover,
+        mutation=parameters.mutation,
+    ):
+        with ins.tracer.span("init_population"):
+            population = _initial_population(
+                elements, parameters.population_size, rng, seeds
+            )
+            fitnesses = [evaluate(individual) for individual in population]
+        evaluations = len(population)
+        evaluations_total.inc(evaluations)
+        champion, champion_fitness = best_individual(population, fitnesses)
+        history = [champion_fitness]
 
-    generation = 0
-    while generation < parameters.max_iterations:
-        if target is not None and champion_fitness <= target:
-            break
-        if time_limit is not None and time.monotonic() - start >= time_limit:
-            break
-        generation += 1
+        generation = 0
+        with ins.tracer.span("evolve"):
+            while generation < parameters.max_iterations:
+                if target is not None and champion_fitness <= target:
+                    break
+                if budget.exhausted():
+                    break
+                generation += 1
+                generation_started = budget.elapsed()
 
-        population = tournament_selection(
-            population,
-            fitnesses,
-            parameters.group_size,
-            parameters.population_size,
-            rng,
-        )
+                population = tournament_selection(
+                    population,
+                    fitnesses,
+                    parameters.group_size,
+                    parameters.population_size,
+                    rng,
+                )
 
-        # Recombination: pair up a p_c fraction of the population.
-        pair_count = int(parameters.crossover_rate * len(population)) // 2
-        if pair_count:
-            indices = rng.sample(range(len(population)), 2 * pair_count)
-            for k in range(pair_count):
-                i, j = indices[2 * k], indices[2 * k + 1]
-                child1, child2 = crossover(population[i], population[j], rng)
-                population[i], population[j] = child1, child2
+                # Recombination: pair up a p_c fraction of the population.
+                pair_count = int(parameters.crossover_rate * len(population)) // 2
+                if pair_count:
+                    indices = rng.sample(range(len(population)), 2 * pair_count)
+                    for k in range(pair_count):
+                        i, j = indices[2 * k], indices[2 * k + 1]
+                        child1, child2 = crossover(population[i], population[j], rng)
+                        population[i], population[j] = child1, child2
 
-        # Mutation: each individual mutates with probability p_m.
-        for i in range(len(population)):
-            if rng.random() < parameters.mutation_rate:
-                population[i] = mutation(population[i], rng)
+                # Mutation: each individual mutates with probability p_m.
+                for i in range(len(population)):
+                    if rng.random() < parameters.mutation_rate:
+                        population[i] = mutation(population[i], rng)
 
-        fitnesses = [evaluate(individual) for individual in population]
-        evaluations += len(population)
-        generation_best, generation_fitness = best_individual(
-            population, fitnesses
-        )
-        if generation_fitness < champion_fitness:
-            champion, champion_fitness = generation_best, generation_fitness
-        history.append(champion_fitness)
+                fitnesses = [evaluate(individual) for individual in population]
+                evaluations += len(population)
+                generations_total.inc()
+                evaluations_total.inc(len(population))
+                if metrics.enabled:
+                    generation_seconds.observe(
+                        budget.elapsed() - generation_started
+                    )
+                generation_best, generation_fitness = best_individual(
+                    population, fitnesses
+                )
+                if generation_fitness < champion_fitness:
+                    champion, champion_fitness = generation_best, generation_fitness
+                history.append(champion_fitness)
 
+    if metrics.enabled:
+        metrics.gauge("best_fitness", solver="ga").set(champion_fitness)
     return GAResult(
         best_fitness=champion_fitness,
         best_individual=champion,
         generations=generation,
         evaluations=evaluations,
         history=history,
-        elapsed=time.monotonic() - start,
+        elapsed=budget.elapsed(),
+        metrics=metrics.snapshot() if metrics.enabled else {},
     )

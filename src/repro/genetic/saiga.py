@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.genetic.crossover import CROSSOVER_OPERATORS, get_crossover
 from repro.genetic.engine import GAParameters, GAResult
 from repro.genetic.ga_ghw import make_ghw_evaluator
@@ -31,6 +32,7 @@ from repro.genetic.mutation import MUTATION_OPERATORS, get_mutation
 from repro.genetic.selection import best_individual, tournament_selection
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
+from repro.obs.budget import Budget
 
 Permutation = list[Vertex]
 
@@ -145,10 +147,14 @@ def saiga_ghw(
     target: int | None = None,
 ) -> SAIGAResult:
     """Run SAIGA-ghw; the best fitness found is a ghw upper bound."""
-    import time as _time
-
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    start = _time.monotonic()
+    budget = Budget(time_limit=time_limit)
+    ins = obs.current()
+    metrics = ins.metrics
+    epochs_total = metrics.counter("epochs", solver="saiga")
+    generations_total = metrics.counter("generations", solver="saiga")
+    evaluations_total = metrics.counter("evaluations", solver="saiga")
+    migrations_total = metrics.counter("migrations", solver="saiga")
     evaluate = make_ghw_evaluator(hypergraph, rng=rng)
     vertices = sorted(hypergraph.vertices(), key=repr)
 
@@ -170,111 +176,123 @@ def saiga_ghw(
             population.append(individual)
         return population
 
-    ring: list[_Island] = []
-    evaluations = 0
-    for _ in range(max(1, islands)):
-        population = random_population()
-        fitnesses = [evaluate(individual) for individual in population]
-        evaluations += len(population)
-        ring.append(
-            _Island(
-                population=population,
-                fitnesses=fitnesses,
-                parameters=ParameterVector.random(rng),
-                previous_best=min(fitnesses),
-            )
-        )
-
-    champion, champion_fitness = best_individual(
-        [ind for island in ring for ind in island.population],
-        [fit for island in ring for fit in island.fitnesses],
-    )
-    history = [champion_fitness]
-    generations = 0
-
-    for _epoch in range(epochs):
-        if target is not None and champion_fitness <= target:
-            break
-        if time_limit is not None and _time.monotonic() - start >= time_limit:
-            break
-        for island in ring:
-            crossover = get_crossover(island.parameters.crossover)
-            mutate = get_mutation(island.parameters.mutation)
-            for _generation in range(epoch_generations):
-                island.population = tournament_selection(
-                    island.population,
-                    island.fitnesses,
-                    island.parameters.group_size,
-                    island_population,
-                    rng,
-                )
-                pair_count = (
-                    int(island.parameters.crossover_rate * island_population)
-                    // 2
-                )
-                if pair_count:
-                    indices = rng.sample(
-                        range(island_population), 2 * pair_count
+    with ins.tracer.span(
+        "saiga", islands=max(1, islands), island_population=island_population
+    ):
+        ring: list[_Island] = []
+        evaluations = 0
+        with ins.tracer.span("init_islands"):
+            for _ in range(max(1, islands)):
+                population = random_population()
+                fitnesses = [evaluate(individual) for individual in population]
+                evaluations += len(population)
+                ring.append(
+                    _Island(
+                        population=population,
+                        fitnesses=fitnesses,
+                        parameters=ParameterVector.random(rng),
+                        previous_best=min(fitnesses),
                     )
-                    for k in range(pair_count):
-                        i, j = indices[2 * k], indices[2 * k + 1]
-                        child1, child2 = crossover(
-                            island.population[i], island.population[j], rng
-                        )
-                        island.population[i] = child1
-                        island.population[j] = child2
-                for i in range(island_population):
-                    if rng.random() < island.parameters.mutation_rate:
-                        island.population[i] = mutate(
-                            island.population[i], rng
-                        )
-                island.fitnesses = [
-                    evaluate(individual) for individual in island.population
-                ]
-                evaluations += island_population
-                generations += 1
-            epoch_best = min(island.fitnesses)
-            island.improvement = island.previous_best - epoch_best
-            island.previous_best = epoch_best
-            if epoch_best < champion_fitness:
-                champion, champion_fitness = best_individual(
-                    island.population, island.fitnesses
                 )
-        history.append(champion_fitness)
+        evaluations_total.inc(evaluations)
 
-        # Migration: each island's best replaces the next island's worst.
-        bests = [
-            best_individual(island.population, island.fitnesses)
-            for island in ring
-        ]
-        for index, island in enumerate(ring):
-            migrant, migrant_fitness = bests[index - 1]
-            worst = max(
-                range(island_population),
-                key=lambda i: (island.fitnesses[i], i),
-            )
-            island.population[worst] = migrant
-            island.fitnesses[worst] = migrant_fitness
+        champion, champion_fitness = best_individual(
+            [ind for island in ring for ind in island.population],
+            [fit for island in ring for fit in island.fitnesses],
+        )
+        history = [champion_fitness]
+        generations = 0
 
-        # Self-adaptation: mutate parameters, then orient toward the
-        # better-improving ring neighbour (Sections 7.2.4-7.2.5).
-        new_parameters: list[ParameterVector] = []
-        for index, island in enumerate(ring):
-            vector = island.parameters.mutated(rng)
-            neighbours = (ring[index - 1], ring[(index + 1) % len(ring)])
-            better = max(neighbours, key=lambda isl: isl.improvement)
-            if better.improvement > island.improvement:
-                vector = vector.oriented_toward(better.parameters, rng)
-            new_parameters.append(vector)
-        for island, vector in zip(ring, new_parameters):
-            island.parameters = vector
+        for _epoch in range(epochs):
+            if target is not None and champion_fitness <= target:
+                break
+            if budget.exhausted():
+                break
+            epochs_total.inc()
+            for island in ring:
+                crossover = get_crossover(island.parameters.crossover)
+                mutate = get_mutation(island.parameters.mutation)
+                for _generation in range(epoch_generations):
+                    island.population = tournament_selection(
+                        island.population,
+                        island.fitnesses,
+                        island.parameters.group_size,
+                        island_population,
+                        rng,
+                    )
+                    pair_count = (
+                        int(island.parameters.crossover_rate * island_population)
+                        // 2
+                    )
+                    if pair_count:
+                        indices = rng.sample(
+                            range(island_population), 2 * pair_count
+                        )
+                        for k in range(pair_count):
+                            i, j = indices[2 * k], indices[2 * k + 1]
+                            child1, child2 = crossover(
+                                island.population[i], island.population[j], rng
+                            )
+                            island.population[i] = child1
+                            island.population[j] = child2
+                    for i in range(island_population):
+                        if rng.random() < island.parameters.mutation_rate:
+                            island.population[i] = mutate(
+                                island.population[i], rng
+                            )
+                    island.fitnesses = [
+                        evaluate(individual) for individual in island.population
+                    ]
+                    evaluations += island_population
+                    evaluations_total.inc(island_population)
+                    generations += 1
+                    generations_total.inc()
+                epoch_best = min(island.fitnesses)
+                island.improvement = island.previous_best - epoch_best
+                island.previous_best = epoch_best
+                if epoch_best < champion_fitness:
+                    champion, champion_fitness = best_individual(
+                        island.population, island.fitnesses
+                    )
+            history.append(champion_fitness)
 
+            # Migration: each island's best replaces the next island's worst.
+            bests = [
+                best_individual(island.population, island.fitnesses)
+                for island in ring
+            ]
+            for index, island in enumerate(ring):
+                migrant, migrant_fitness = bests[index - 1]
+                worst = max(
+                    range(island_population),
+                    key=lambda i: (island.fitnesses[i], i),
+                )
+                island.population[worst] = migrant
+                island.fitnesses[worst] = migrant_fitness
+                migrations_total.inc()
+
+            # Self-adaptation: mutate parameters, then orient toward the
+            # better-improving ring neighbour (Sections 7.2.4-7.2.5).
+            new_parameters: list[ParameterVector] = []
+            for index, island in enumerate(ring):
+                vector = island.parameters.mutated(rng)
+                neighbours = (ring[index - 1], ring[(index + 1) % len(ring)])
+                better = max(neighbours, key=lambda isl: isl.improvement)
+                if better.improvement > island.improvement:
+                    vector = vector.oriented_toward(better.parameters, rng)
+                new_parameters.append(vector)
+            for island, vector in zip(ring, new_parameters):
+                island.parameters = vector
+
+    if metrics.enabled:
+        metrics.gauge("best_fitness", solver="saiga").set(champion_fitness)
     return SAIGAResult(
         best_fitness=champion_fitness,
         best_individual=champion,
         generations=generations,
         evaluations=evaluations,
         history=history,
-        elapsed=_time.monotonic() - start,
+        elapsed=budget.elapsed(),
+        metrics=metrics.snapshot() if metrics.enabled else {},
         final_parameters=[island.parameters for island in ring],
     )

@@ -18,11 +18,12 @@ upper-bound heuristics directly comparable.
 from __future__ import annotations
 
 import random
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.hypergraphs.graph import Vertex
+from repro.obs.budget import Budget
 
 Permutation = list[Vertex]
 Evaluator = Callable[[Sequence[Vertex]], int]
@@ -56,6 +57,9 @@ class TabuResult:
     history: list[int] = field(default_factory=list)
     elapsed: float = 0.0
 
+    metrics: dict = field(default_factory=dict)
+    """``repro.obs`` snapshot at run end (empty when uninstrumented)."""
+
 
 def tabu_search(
     elements: Sequence[Vertex],
@@ -69,7 +73,13 @@ def tabu_search(
     """Tabu-search an ordering; smaller fitness is better."""
     parameters = (parameters or TabuParameters()).validated()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    start = time.monotonic()
+    budget = Budget(time_limit=time_limit)
+    ins = obs.current()
+    metrics = ins.metrics
+    moves_applied = metrics.counter("moves", solver="tabu", outcome="applied")
+    moves_stalled = metrics.counter("moves", solver="tabu", outcome="stalled")
+    restarts_total = metrics.counter("restarts", solver="tabu")
+    evaluations_total = metrics.counter("evaluations", solver="tabu")
 
     if initial is not None:
         current = list(initial)
@@ -79,66 +89,78 @@ def tabu_search(
         current = list(elements)
         rng.shuffle(current)
     n = len(current)
-    current_fitness = evaluate(current)
-    best, best_fitness = list(current), current_fitness
-    evaluations = 1
-    history = [best_fitness]
-    tabu_until: dict[Vertex, int] = {}
-    stalled = 0
 
-    for iteration in range(parameters.iterations):
-        if target is not None and best_fitness <= target:
-            break
-        if time_limit is not None and time.monotonic() - start >= time_limit:
-            break
+    with ins.tracer.span(
+        "tabu", tenure=parameters.tenure, iterations=parameters.iterations
+    ):
+        current_fitness = evaluate(current)
+        best, best_fitness = list(current), current_fitness
+        evaluations = 1
+        evaluations_total.inc()
+        history = [best_fitness]
+        tabu_until: dict[Vertex, int] = {}
+        stalled = 0
 
-        best_move: tuple[int, int] | None = None
-        best_move_fitness: int | None = None
-        for _ in range(parameters.neighbourhood_sample):
-            source = rng.randrange(n)
-            destination = rng.randrange(n)
-            if source == destination:
-                continue
-            vertex = current[source]
-            neighbour = list(current)
-            neighbour.pop(source)
-            neighbour.insert(destination, vertex)
-            fitness = evaluate(neighbour)
-            evaluations += 1
-            is_tabu = tabu_until.get(vertex, -1) >= iteration
-            if is_tabu and fitness >= best_fitness:
-                continue  # tabu and no aspiration
-            if best_move_fitness is None or fitness < best_move_fitness:
-                best_move = (source, destination)
-                best_move_fitness = fitness
-        if best_move is None:
-            stalled += 1
-        else:
-            source, destination = best_move
-            vertex = current[source]
-            current.pop(source)
-            current.insert(destination, vertex)
-            current_fitness = best_move_fitness  # type: ignore[assignment]
-            tabu_until[vertex] = iteration + parameters.tenure
-            if current_fitness < best_fitness:
-                best, best_fitness = list(current), current_fitness
-                stalled = 0
-            else:
+        for iteration in range(parameters.iterations):
+            if target is not None and best_fitness <= target:
+                break
+            if budget.exhausted():
+                break
+
+            best_move: tuple[int, int] | None = None
+            best_move_fitness: int | None = None
+            for _ in range(parameters.neighbourhood_sample):
+                source = rng.randrange(n)
+                destination = rng.randrange(n)
+                if source == destination:
+                    continue
+                vertex = current[source]
+                neighbour = list(current)
+                neighbour.pop(source)
+                neighbour.insert(destination, vertex)
+                fitness = evaluate(neighbour)
+                evaluations += 1
+                evaluations_total.inc()
+                is_tabu = tabu_until.get(vertex, -1) >= iteration
+                if is_tabu and fitness >= best_fitness:
+                    continue  # tabu and no aspiration
+                if best_move_fitness is None or fitness < best_move_fitness:
+                    best_move = (source, destination)
+                    best_move_fitness = fitness
+            if best_move is None:
                 stalled += 1
-        if stalled >= parameters.stall_restart:
-            current = list(best)
-            current_fitness = best_fitness
-            tabu_until.clear()
-            stalled = 0
-        history.append(best_fitness)
+                moves_stalled.inc()
+            else:
+                source, destination = best_move
+                vertex = current[source]
+                current.pop(source)
+                current.insert(destination, vertex)
+                current_fitness = best_move_fitness  # type: ignore[assignment]
+                tabu_until[vertex] = iteration + parameters.tenure
+                moves_applied.inc()
+                if current_fitness < best_fitness:
+                    best, best_fitness = list(current), current_fitness
+                    stalled = 0
+                else:
+                    stalled += 1
+            if stalled >= parameters.stall_restart:
+                current = list(best)
+                current_fitness = best_fitness
+                tabu_until.clear()
+                stalled = 0
+                restarts_total.inc()
+            history.append(best_fitness)
 
+    if metrics.enabled:
+        metrics.gauge("best_fitness", solver="tabu").set(best_fitness)
     return TabuResult(
         best_fitness=best_fitness,
         best_individual=best,
         evaluations=evaluations,
         iterations=len(history) - 1,
         history=history,
-        elapsed=time.monotonic() - start,
+        elapsed=budget.elapsed(),
+        metrics=metrics.snapshot() if metrics.enabled else {},
     )
 
 

@@ -1,0 +1,62 @@
+"""A shared wall-clock / operation budget for solver loops.
+
+Every solver family in the library runs some bounded loop — search node
+expansions, GA generations, annealing moves — and historically each
+rolled its own ``start = time.monotonic()`` deadline check. This class
+is the single implementation: construct it when the run starts, charge
+it per unit of work, and ask :meth:`exhausted` at loop heads. Time
+limits therefore behave identically across solvers (checked against the
+same monotonic clock, from construction time, inclusive at the limit).
+
+:class:`repro.search.common.SearchBudget` is the search-flavoured alias
+(``node_limit`` / ``nodes`` vocabulary) built on top of this.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Budget:
+    """Wall-clock and operation-count budget."""
+
+    __slots__ = ("time_limit", "op_limit", "ops", "_start", "_clock")
+
+    def __init__(
+        self,
+        time_limit: float | None = None,
+        op_limit: int | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.time_limit = time_limit
+        self.op_limit = op_limit
+        self.ops = 0
+        self._clock = clock
+        self._start = clock()
+
+    def charge(self, amount: int = 1) -> None:
+        """Account for ``amount`` units of work (nodes, moves, ...)."""
+        self.ops += amount
+
+    def exhausted(self) -> bool:
+        return self.exhausted_reason() is not None
+
+    def exhausted_reason(self) -> str | None:
+        """``"ops"``, ``"time"``, or ``None`` while budget remains."""
+        if self.op_limit is not None and self.ops >= self.op_limit:
+            return "ops"
+        if (
+            self.time_limit is not None
+            and self._clock() - self._start >= self.time_limit
+        ):
+            return "time"
+        return None
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining_time(self) -> float | None:
+        """Seconds left on the wall clock, or ``None`` if unlimited."""
+        if self.time_limit is None:
+            return None
+        return max(0.0, self.time_limit - self.elapsed())

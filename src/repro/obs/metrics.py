@@ -1,0 +1,245 @@
+"""Process-local metrics: counters, gauges and histograms with labels.
+
+The registry is the accounting half of the observability layer
+(:mod:`repro.obs`). Solvers ask it for *instruments* — a counter, gauge
+or histogram identified by a metric name plus a set of key=value labels,
+e.g. ``prunes{rule="pr2",solver="bb-ghw"}`` — and bump them on the hot
+path. Instrument handles are plain objects with one integer/float slot,
+so the per-event cost is an attribute add; the lookup cost is paid once
+when the handle is created, which solvers do outside their loops.
+
+Disabled mode is a :class:`NullMetricsRegistry` whose instruments are
+shared do-nothing singletons: code instruments unconditionally and the
+registry decides whether anything is recorded. ``registry.enabled``
+lets hot paths skip even the no-op calls when they want to.
+
+Series keys render in Prometheus exposition style
+(``name{label="value",...}``, labels sorted by key), which keeps
+snapshots diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def series_key(name: str, labels: LabelSet | dict[str, str] = ()) -> str:
+    """Render ``name`` + sorted labels as ``name{k="v",...}``."""
+    if isinstance(labels, dict):
+        labels = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    if not labels:
+        return name
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{body}}}"
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (temperature, best fitness, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Streaming summary of observations (count/sum/min/max).
+
+    No buckets: the solvers' distributions of interest (per-generation
+    seconds, bag-cover sizes) are summarised, not binned, so the
+    instrument stays four floats and ``observe`` stays branch-light.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = inf
+        self.max = -inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled instruments.
+
+    The same ``(kind, name, labels)`` always returns the same instrument
+    object, so handles can be hoisted out of loops and shared freely.
+    Reusing one metric *name* for two different kinds is a programming
+    error and raises immediately — mixed-kind series cannot be rendered
+    or aggregated coherently.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelSet], Counter] = {}
+        self._gauges: dict[tuple[str, LabelSet], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelSet], Histogram] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _key(self, kind: str, name: str, labels: dict[str, str]) -> tuple[str, LabelSet]:
+        known = self._kinds.setdefault(name, kind)
+        if known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {known}, "
+                f"cannot reuse it as a {kind}"
+            )
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = self._key("counter", name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = self._key("gauge", name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = self._key("histogram", name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict[str, int | float | dict[str, float]]:
+        """One flat, sorted mapping of every series to its current value.
+
+        Counters and gauges map to numbers, histograms to their
+        ``summary()`` dict. The flat form is what result dataclasses
+        carry and what telemetry JSON serialises.
+        """
+        out: dict[str, int | float | dict[str, float]] = {}
+        for (name, labels), counter in self._counters.items():
+            out[series_key(name, labels)] = counter.value
+        for (name, labels), gauge in self._gauges.items():
+            out[series_key(name, labels)] = gauge.value
+        for (name, labels), histogram in self._histograms.items():
+            out[series_key(name, labels)] = histogram.summary()
+        return dict(sorted(out.items()))
+
+    def snapshot_by_kind(self) -> dict[str, dict]:
+        """Snapshot split into ``counters`` / ``gauges`` / ``histograms``."""
+        return {
+            "counters": dict(
+                sorted(
+                    (series_key(n, l), c.value)
+                    for (n, l), c in self._counters.items()
+                )
+            ),
+            "gauges": dict(
+                sorted(
+                    (series_key(n, l), g.value)
+                    for (n, l), g in self._gauges.items()
+                )
+            ),
+            "histograms": dict(
+                sorted(
+                    (series_key(n, l), h.summary())
+                    for (n, l), h in self._histograms.items()
+                )
+            ),
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+
+    def __init__(self) -> None:  # no tables to build
+        pass
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._HISTOGRAM
+
+    def snapshot(self) -> dict[str, int | float | dict[str, float]]:
+        return {}
+
+    def snapshot_by_kind(self) -> dict[str, dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullMetricsRegistry()

@@ -1,0 +1,70 @@
+"""Human-readable rendering of metrics snapshots and span trees.
+
+The CLI's ``--metrics`` / ``--trace`` flags print these to stderr, so a
+terminal user gets the same signals a telemetry JSONL carries, aligned
+and indented instead of serialized.
+"""
+
+from __future__ import annotations
+
+from repro.obs.report import RunReport
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Align a flat ``registry.snapshot()`` as ``series  value`` lines."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    width = max(len(key) for key in snapshot)
+    lines = []
+    for key, value in snapshot.items():
+        if isinstance(value, dict):  # histogram summary
+            shown = (
+                f"count={value.get('count', 0)} sum={value.get('sum', 0.0):.6g} "
+                f"min={value.get('min', 0.0):.6g} max={value.get('max', 0.0):.6g}"
+            )
+        elif isinstance(value, float):
+            shown = f"{value:.6g}"
+        else:
+            shown = str(value)
+        lines.append(f"{key.ljust(width)}  {shown}")
+    return "\n".join(lines)
+
+
+def render_spans(spans: list[dict], indent: int = 0) -> str:
+    """Indent a ``tracer.tree()`` forest with per-span durations."""
+    if not spans and indent == 0:
+        return "(no spans recorded)"
+    lines: list[str] = []
+    for span in spans:
+        duration = span.get("duration_s")
+        shown = f"{duration:.6f}s" if duration is not None else "?"
+        attrs = span.get("attrs") or {}
+        suffix = (
+            " " + " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        )
+        lines.append(f"{'  ' * indent}{span['name']}  {shown}{suffix}")
+        children = span.get("children") or []
+        if children:
+            lines.append(render_spans(children, indent + 1))
+    return "\n".join(lines)
+
+
+def render_report(report: RunReport) -> str:
+    """Multi-section summary of one run report."""
+    shown_value = (
+        report.value
+        if report.value is not None
+        else f"[{report.lower_bound}, {report.upper_bound}]"
+    )
+    head = (
+        f"{report.instance}  {report.solver}  {report.measure}="
+        f"{shown_value} ({report.status})  {report.elapsed_s:.2f}s"
+    )
+    if report.peak_rss_kb is not None:
+        head += f"  rss={report.peak_rss_kb}KiB"
+    sections = [head]
+    snapshot: dict = {**report.counters, **report.gauges, **report.histograms}
+    sections.append(render_metrics(dict(sorted(snapshot.items()))))
+    if report.spans:
+        sections.append(render_spans(report.spans))
+    return "\n".join(sections)

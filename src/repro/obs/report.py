@@ -1,0 +1,193 @@
+"""Structured run telemetry: the :class:`RunReport` JSON-lines record.
+
+One ``RunReport`` describes one solver run on one instance — what ran,
+what it concluded (value / bounds / status), how long it took, and the
+full metrics snapshot and span tree collected while it ran. Reports
+serialize one-per-line as JSON (JSONL), the format HyperBench-style
+benchmark tooling ingests; :func:`validate_report` is the schema check
+CI runs against emitted files.
+
+The schema is hand-validated (no ``jsonschema`` dependency); bump
+``SCHEMA_VERSION`` on breaking changes so downstream readers can branch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.obs.runtime import Instruments
+
+SCHEMA_VERSION = 1
+
+#: Run outcomes a report may carry.
+STATUSES = ("optimal", "interrupted", "heuristic", "error")
+
+#: field name -> (required, allowed types); bounds/value are also allowed
+#: to be None because heuristics prove only one side.
+_FIELD_TYPES: dict[str, tuple[bool, tuple[type, ...]]] = {
+    "schema_version": (True, (int,)),
+    "instance": (True, (str,)),
+    "solver": (True, (str,)),
+    "measure": (True, (str,)),
+    "status": (True, (str,)),
+    "value": (False, (int, float, type(None))),
+    "lower_bound": (False, (int, float, type(None))),
+    "upper_bound": (False, (int, float, type(None))),
+    "elapsed_s": (True, (int, float)),
+    "counters": (True, (dict,)),
+    "gauges": (True, (dict,)),
+    "histograms": (True, (dict,)),
+    "spans": (True, (list,)),
+    "peak_rss_kb": (False, (int, type(None))),
+    "meta": (False, (dict,)),
+}
+
+
+def peak_rss_kb() -> int | None:
+    """This process's peak resident set size in KiB (``None`` off-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        rss //= 1024
+    return int(rss)
+
+
+@dataclass
+class RunReport:
+    """Telemetry for one (instance, solver) run."""
+
+    instance: str
+    solver: str
+    measure: str
+    status: str
+    value: int | float | None = None
+    lower_bound: int | float | None = None
+    upper_bound: int | float | None = None
+    elapsed_s: float = 0.0
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    peak_rss_kb: int | None = None
+    meta: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def capture(
+        cls,
+        instruments: Instruments,
+        *,
+        instance: str,
+        solver: str,
+        measure: str,
+        status: str,
+        value: int | float | None = None,
+        lower_bound: int | float | None = None,
+        upper_bound: int | float | None = None,
+        elapsed_s: float = 0.0,
+        meta: dict | None = None,
+    ) -> "RunReport":
+        """Build a report from the run's active instruments."""
+        by_kind = instruments.metrics.snapshot_by_kind()
+        return cls(
+            instance=instance,
+            solver=solver,
+            measure=measure,
+            status=status,
+            value=value,
+            lower_bound=lower_bound,
+            upper_bound=upper_bound,
+            elapsed_s=elapsed_s,
+            counters=by_kind["counters"],
+            gauges=by_kind["gauges"],
+            histograms=by_kind["histograms"],
+            spans=instruments.tracer.tree(),
+            peak_rss_kb=peak_rss_kb(),
+            meta=dict(meta or {}),
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        validate_report(data)
+        return cls(**{k: data[k] for k in _FIELD_TYPES if k in data})
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunReport":
+        return cls.from_dict(json.loads(line))
+
+
+def validate_report(data: dict) -> None:
+    """Check ``data`` against the RunReport schema; raise on violation.
+
+    All problems are collected and reported in one :class:`ValueError`,
+    so a CI failure names every offending field at once.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        raise ValueError(f"report must be a JSON object, got {type(data).__name__}")
+    for name, (required, types) in _FIELD_TYPES.items():
+        if name not in data:
+            if required:
+                problems.append(f"missing required field {name!r}")
+            continue
+        # bool is an int subclass; reject it where int is expected.
+        if isinstance(data[name], bool) or not isinstance(data[name], types):
+            expected = "/".join(t.__name__ for t in types)
+            problems.append(
+                f"field {name!r} has type {type(data[name]).__name__}, "
+                f"expected {expected}"
+            )
+    unknown = sorted(set(data) - set(_FIELD_TYPES))
+    if unknown:
+        problems.append(f"unknown fields: {unknown}")
+    if isinstance(data.get("status"), str) and data["status"] not in STATUSES:
+        problems.append(
+            f"status {data['status']!r} not one of {list(STATUSES)}"
+        )
+    if isinstance(data.get("schema_version"), int) and data[
+        "schema_version"
+    ] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data['schema_version']} != {SCHEMA_VERSION}"
+        )
+    counters = data.get("counters")
+    if isinstance(counters, dict):
+        for key, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                problems.append(f"counter {key!r} is not an integer")
+    spans = data.get("spans")
+    if isinstance(spans, list):
+        for span in spans:
+            if not isinstance(span, dict) or "name" not in span:
+                problems.append(f"span entry {span!r} lacks a 'name'")
+    if problems:
+        raise ValueError("invalid RunReport: " + "; ".join(problems))
+
+
+def append_jsonl(path: str | Path, report: RunReport) -> None:
+    """Append one report to a JSON-lines telemetry file."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(report.to_json() + "\n")
+
+
+def read_jsonl(path: str | Path) -> list[RunReport]:
+    """Read and validate every report in a JSON-lines telemetry file."""
+    reports: list[RunReport] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                reports.append(RunReport.from_json(line))
+    return reports

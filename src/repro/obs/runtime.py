@@ -1,0 +1,70 @@
+"""Ambient instrumentation: ``instrument()`` activates, ``current()`` reads.
+
+Threading a registry and tracer through every solver signature would
+bloat two dozen APIs, so the pair travels ambiently in a
+:class:`contextvars.ContextVar`. Solvers call :func:`current` once at
+entry and instrument unconditionally; outside any :func:`instrument`
+block they receive the shared disabled pair (null registry + null
+tracer), whose instruments are no-ops.
+
+ContextVar scoping means concurrent runs (threads, asyncio tasks) each
+see their own instruments, and nesting ``instrument()`` blocks shadows
+correctly — the experiment runner opens one block per table cell.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class Instruments:
+    """The active (metrics registry, tracer) pair."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics: MetricsRegistry, tracer: Tracer) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.tracer.enabled
+
+
+DISABLED = Instruments(NULL_REGISTRY, NULL_TRACER)
+
+_ACTIVE: contextvars.ContextVar[Instruments] = contextvars.ContextVar(
+    "repro_obs_instruments", default=DISABLED
+)
+
+
+def current() -> Instruments:
+    """The instruments active in this context (disabled pair by default)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def instrument(
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Iterator[Instruments]:
+    """Activate instrumentation for the enclosed code.
+
+    Fresh instruments are created unless given explicitly; pass
+    ``metrics=NULL_REGISTRY`` or ``tracer=NULL_TRACER`` to enable only
+    one half. The previous instruments are restored on exit.
+    """
+    active = Instruments(
+        metrics if metrics is not None else MetricsRegistry(),
+        tracer if tracer is not None else Tracer(),
+    )
+    token = _ACTIVE.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,139 @@
+"""Search-span tracing: nested wall-clock timings with a no-op mode.
+
+A *span* is a named, attributed stretch of wall-clock time; spans nest,
+so a traced run yields a tree — e.g. ``bb-ghw`` containing
+``root_bounds`` and ``search``. Usage::
+
+    with tracer.span("search", vertices=n):
+        ...
+
+Conventions (see ``docs/observability.md``): spans are *coarse* — one
+per solver phase, never one per search node — so a span tree stays a
+handful of entries and tracing never dominates the traced work. Hot-path
+statistics belong in counters (:mod:`repro.obs.metrics`).
+
+Disabled mode is :class:`NullTracer`, whose ``span`` returns one shared
+no-op context manager; entering it costs two trivial method calls, so
+instrumented code needs no ``if enabled`` guards around ``with`` blocks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+
+
+class Span:
+    """One timed, attributed node of the span tree."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children")
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration: float | None = None
+        self.children: list[Span] = []
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "name": self.name,
+            "duration_s": round(self.duration, 6) if self.duration is not None else None,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class _ActiveSpan:
+    """Context manager that opens/closes one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        if tracer._stack:
+            tracer._stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        tracer._stack.append(span)
+        span.start = tracer._clock()
+        return span
+
+    def __exit__(self, *exc_info: object) -> None:
+        span = self._tracer._stack.pop()
+        span.duration = self._tracer._clock() - span.start
+
+
+class Tracer:
+    """Collects a tree of :class:`Span` objects."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._clock = clock
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        return _ActiveSpan(self, Span(name, attrs))
+
+    def tree(self) -> list[dict[str, object]]:
+        """The completed span forest as plain dicts (JSON-ready)."""
+        return [span.to_dict() for span in self.roots]
+
+    def walk(self) -> Iterator[Span]:
+        """All spans, depth-first."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def total(self, name: str) -> float:
+        """Summed duration of every *completed* span called ``name``."""
+        return sum(
+            span.duration
+            for span in self.walk()
+            if span.name == name and span.duration is not None
+        )
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: ``span`` returns one shared no-op context."""
+
+    enabled = False
+
+    _SPAN = _NullSpanContext()
+
+    def __init__(self) -> None:
+        self.roots = []
+
+    def span(self, name: str, **attrs: object) -> _NullSpanContext:  # type: ignore[override]
+        return self._SPAN
+
+    def tree(self) -> list[dict[str, object]]:
+        return []
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+
+NULL_TRACER = NullTracer()

@@ -19,6 +19,7 @@ import heapq
 import random
 from itertools import count
 
+from repro import obs
 from repro.bounds.ghw_lower import tw_ksc_width_remaining
 from repro.hypergraphs.elimination_graph import EliminationGraph
 from repro.hypergraphs.graph import Vertex
@@ -29,6 +30,7 @@ from repro.search.bb_ghw import initial_ghw_incumbent
 from repro.search.common import (
     SearchBudget,
     SearchResult,
+    attach_metrics,
     certified,
     interrupted,
 )
@@ -48,97 +50,121 @@ def astar_ghw(
     """Compute ``ghw(hypergraph)`` via best-first search."""
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "astar-ghw"
+    ins = obs.current()
+    metrics = ins.metrics
+    nodes_total = metrics.counter("nodes", solver=name)
+    prune_pr2 = metrics.counter("prunes", rule="pr2", solver=name)
+    prune_ub = metrics.counter("prunes", rule="ub", solver=name)
+    forced_total = metrics.counter("reductions", kind="forced", solver=name)
+
+    def _finish(result: SearchResult) -> SearchResult:
+        return attach_metrics(result, metrics)
+
     if hypergraph.num_vertices() == 0 or hypergraph.num_edges() == 0:
-        return certified(
-            0, sorted(hypergraph.vertices(), key=repr), budget, name
+        return _finish(
+            certified(0, sorted(hypergraph.vertices(), key=repr), budget, name)
         )
 
     edges = hypergraph.edges()
     solver = ExactSetCoverSolver(edges)
     primal = hypergraph.primal_graph()
 
-    lb = tw_ksc_width_remaining(
-        hypergraph, primal, tw_methods=lb_methods, rng=rng
-    )
-    ub, ub_ordering = initial_ghw_incumbent(hypergraph, solver, rng)
-    if lb >= ub:
-        return certified(ub, ub_ordering, budget, name)
-
-    working = EliminationGraph(primal)
-    sequence = count()
-    heap: list[
-        tuple[int, int, int, int, tuple[Vertex, ...], tuple[Vertex, ...], bool]
-    ] = []
-
-    def remainder_cover_size() -> int:
-        remaining = working.vertices()
-        if not remaining:
-            return 0
-        restricted = {
-            name_: frozenset(edge & remaining)
-            for name_, edge in edges.items()
-            if edge & remaining
-        }
-        return len(greedy_set_cover(remaining, restricted))
-
-    root_children = tuple(sorted(primal.vertices(), key=repr))
-    root_forced = False
-    if use_reductions:
-        simplicial = find_simplicial(primal)
-        if simplicial is not None:
-            root_children = (simplicial,)
-            root_forced = True
-    heapq.heappush(
-        heap, (lb, 0, next(sequence), 0, (), root_children, root_forced)
-    )
-
-    while heap:
-        if budget.exhausted():
-            return interrupted(lb, ub, ub_ordering, budget, name)
-        f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
-        budget.charge()
-        lb = max(lb, f)
-        working.switch_to(prefix)
-
-        if remainder_cover_size() <= g:
-            # Goal: any completion's bags stay within the remainder, whose
-            # cover fits in g — the completion has width exactly g.
-            ordering = list(prefix) + sorted(working.vertices(), key=repr)
-            return certified(g, ordering, budget, name)
-
-        for child in children:
-            bag = {child} | working.neighbours(child)
-            child_g = max(g, solver.cover_size(bag))
-            grandchildren = [v for v in working.vertices() if v != child]
-            if use_pr2 and not forced:
-                grandchildren = pr2_prune_children(
-                    working.graph(), child, grandchildren,
-                    swap_safe=swap_safe_ghw,
-                )
-            working.eliminate(child)
-            child_forced = False
-            if use_reductions:
-                simplicial = find_simplicial(working.graph())
-                if simplicial is not None:
-                    grandchildren = [simplicial]
-                    child_forced = True
-            h = tw_ksc_width_remaining(
-                hypergraph, working.graph(), tw_methods=lb_methods, rng=rng
+    with ins.tracer.span(
+        name, vertices=hypergraph.num_vertices(), edges=hypergraph.num_edges()
+    ):
+        with ins.tracer.span("root_bounds"):
+            lb = tw_ksc_width_remaining(
+                hypergraph, primal, tw_methods=lb_methods, rng=rng
             )
-            child_f = max(child_g, h, f)
-            if child_f < ub:
-                heapq.heappush(
-                    heap,
-                    (
-                        child_f,
-                        neg_depth - 1,
-                        next(sequence),
-                        child_g,
-                        prefix + (child,),
-                        tuple(grandchildren),
-                        child_forced,
-                    ),
-                )
-            working.restore()
+            ub, ub_ordering = initial_ghw_incumbent(hypergraph, solver, rng)
+        if lb >= ub:
+            return _finish(certified(ub, ub_ordering, budget, name))
 
-    return certified(ub, ub_ordering, budget, name)
+        working = EliminationGraph(primal)
+        sequence = count()
+        heap: list[
+            tuple[int, int, int, int, tuple[Vertex, ...], tuple[Vertex, ...], bool]
+        ] = []
+
+        def remainder_cover_size() -> int:
+            remaining = working.vertices()
+            if not remaining:
+                return 0
+            restricted = {
+                name_: frozenset(edge & remaining)
+                for name_, edge in edges.items()
+                if edge & remaining
+            }
+            return len(greedy_set_cover(remaining, restricted))
+
+        root_children = tuple(sorted(primal.vertices(), key=repr))
+        root_forced = False
+        if use_reductions:
+            simplicial = find_simplicial(primal)
+            if simplicial is not None:
+                root_children = (simplicial,)
+                root_forced = True
+        heapq.heappush(
+            heap, (lb, 0, next(sequence), 0, (), root_children, root_forced)
+        )
+
+        with ins.tracer.span("search"):
+            while heap:
+                if budget.exhausted():
+                    return _finish(
+                        interrupted(lb, ub, ub_ordering, budget, name)
+                    )
+                f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
+                budget.charge()
+                nodes_total.inc()
+                lb = max(lb, f)
+                working.switch_to(prefix)
+
+                if remainder_cover_size() <= g:
+                    # Goal: any completion's bags stay within the remainder,
+                    # whose cover fits in g — the completion has width
+                    # exactly g.
+                    ordering = list(prefix) + sorted(working.vertices(), key=repr)
+                    return _finish(certified(g, ordering, budget, name))
+
+                for child in children:
+                    bag = {child} | working.neighbours(child)
+                    child_g = max(g, solver.cover_size(bag))
+                    grandchildren = [v for v in working.vertices() if v != child]
+                    if use_pr2 and not forced:
+                        kept = pr2_prune_children(
+                            working.graph(), child, grandchildren,
+                            swap_safe=swap_safe_ghw,
+                        )
+                        prune_pr2.inc(len(grandchildren) - len(kept))
+                        grandchildren = kept
+                    working.eliminate(child)
+                    child_forced = False
+                    if use_reductions:
+                        simplicial = find_simplicial(working.graph())
+                        if simplicial is not None:
+                            grandchildren = [simplicial]
+                            child_forced = True
+                            forced_total.inc()
+                    h = tw_ksc_width_remaining(
+                        hypergraph, working.graph(), tw_methods=lb_methods, rng=rng
+                    )
+                    child_f = max(child_g, h, f)
+                    if child_f < ub:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child_f,
+                                neg_depth - 1,
+                                next(sequence),
+                                child_g,
+                                prefix + (child,),
+                                tuple(grandchildren),
+                                child_forced,
+                            ),
+                        )
+                    else:
+                        prune_ub.inc()
+                    working.restore()
+
+        return _finish(certified(ub, ub_ordering, budget, name))

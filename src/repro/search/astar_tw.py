@@ -24,6 +24,7 @@ import heapq
 import random
 from itertools import count
 
+from repro import obs
 from repro.bounds.lower import treewidth_lower_bound
 from repro.bounds.upper import upper_bound_ordering
 from repro.hypergraphs.elimination_graph import EliminationGraph
@@ -33,6 +34,7 @@ from repro.reductions.simplicial import find_reduction_vertex
 from repro.search.common import (
     SearchBudget,
     SearchResult,
+    attach_metrics,
     certified,
     interrupted,
 )
@@ -54,83 +56,106 @@ def astar_treewidth(
     """
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "astar-tw"
+    ins = obs.current()
+    metrics = ins.metrics
+    nodes_total = metrics.counter("nodes", solver=name)
+    prune_pr2 = metrics.counter("prunes", rule="pr2", solver=name)
+    prune_ub = metrics.counter("prunes", rule="ub", solver=name)
+    forced_total = metrics.counter("reductions", kind="forced", solver=name)
+
+    def _finish(result: SearchResult) -> SearchResult:
+        return attach_metrics(result, metrics)
+
     n = graph.num_vertices()
     if n <= 1:
-        return certified(0, sorted(graph.vertices(), key=repr), budget, name)
+        return _finish(
+            certified(0, sorted(graph.vertices(), key=repr), budget, name)
+        )
 
-    lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
-    ub, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
-    if lb >= ub:
-        return certified(ub, ub_ordering, budget, name)
+    with ins.tracer.span(name, vertices=n):
+        with ins.tracer.span("root_bounds"):
+            lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
+            ub, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
+        if lb >= ub:
+            return _finish(certified(ub, ub_ordering, budget, name))
 
-    working = EliminationGraph(graph)
-    sequence = count()
-    # Heap entries: (f, -depth, tiebreak, g, prefix, children, forced)
-    heap: list[
-        tuple[int, int, int, int, tuple[Vertex, ...], tuple[Vertex, ...], bool]
-    ] = []
+        working = EliminationGraph(graph)
+        sequence = count()
+        # Heap entries: (f, -depth, tiebreak, g, prefix, children, forced)
+        heap: list[
+            tuple[int, int, int, int, tuple[Vertex, ...], tuple[Vertex, ...], bool]
+        ] = []
 
-    root_children = tuple(sorted(graph.vertices(), key=repr))
-    root_forced = False
-    if use_reductions:
-        reduction = find_reduction_vertex(graph, lb)
-        if reduction is not None:
-            root_children = (reduction,)
-            root_forced = True
-    heapq.heappush(
-        heap, (lb, 0, next(sequence), 0, (), root_children, root_forced)
-    )
+        root_children = tuple(sorted(graph.vertices(), key=repr))
+        root_forced = False
+        if use_reductions:
+            reduction = find_reduction_vertex(graph, lb)
+            if reduction is not None:
+                root_children = (reduction,)
+                root_forced = True
+        heapq.heappush(
+            heap, (lb, 0, next(sequence), 0, (), root_children, root_forced)
+        )
 
-    while heap:
-        if budget.exhausted():
-            return interrupted(lb, ub, ub_ordering, budget, name)
-        f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
-        budget.charge()
-        lb = max(lb, f)
-        working.switch_to(prefix)
-        remaining = working.num_vertices()
+        with ins.tracer.span("search"):
+            while heap:
+                if budget.exhausted():
+                    return _finish(
+                        interrupted(lb, ub, ub_ordering, budget, name)
+                    )
+                f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
+                budget.charge()
+                nodes_total.inc()
+                lb = max(lb, f)
+                working.switch_to(prefix)
+                remaining = working.num_vertices()
 
-        if g >= remaining - 1:
-            # Goal: finishing in any order yields width exactly g.
-            ordering = list(prefix) + sorted(working.vertices(), key=repr)
-            return certified(g, ordering, budget, name)
+                if g >= remaining - 1:
+                    # Goal: finishing in any order yields width exactly g.
+                    ordering = list(prefix) + sorted(working.vertices(), key=repr)
+                    return _finish(certified(g, ordering, budget, name))
 
-        for child in children:
-            degree = working.degree(child)
-            child_g = max(g, degree)
-            grandchildren = [v for v in working.vertices() if v != child]
-            if use_pr2 and not forced:
-                grandchildren = pr2_prune_children(
-                    working.graph(), child, grandchildren,
-                    swap_safe=swap_safe_treewidth,
-                )
-            working.eliminate(child)
-            child_forced = False
-            if use_reductions:
-                reduction = find_reduction_vertex(
-                    working.graph(), max(child_g, lb)
-                )
-                if reduction is not None:
-                    grandchildren = [reduction]
-                    child_forced = True
-            h = treewidth_lower_bound(
-                working.graph(), methods=lb_methods, rng=rng
-            )
-            child_f = max(child_g, h, f)
-            if child_f < ub:
-                heapq.heappush(
-                    heap,
-                    (
-                        child_f,
-                        neg_depth - 1,
-                        next(sequence),
-                        child_g,
-                        prefix + (child,),
-                        tuple(grandchildren),
-                        child_forced,
-                    ),
-                )
-            working.restore()
+                for child in children:
+                    degree = working.degree(child)
+                    child_g = max(g, degree)
+                    grandchildren = [v for v in working.vertices() if v != child]
+                    if use_pr2 and not forced:
+                        kept = pr2_prune_children(
+                            working.graph(), child, grandchildren,
+                            swap_safe=swap_safe_treewidth,
+                        )
+                        prune_pr2.inc(len(grandchildren) - len(kept))
+                        grandchildren = kept
+                    working.eliminate(child)
+                    child_forced = False
+                    if use_reductions:
+                        reduction = find_reduction_vertex(
+                            working.graph(), max(child_g, lb)
+                        )
+                        if reduction is not None:
+                            grandchildren = [reduction]
+                            child_forced = True
+                            forced_total.inc()
+                    h = treewidth_lower_bound(
+                        working.graph(), methods=lb_methods, rng=rng
+                    )
+                    child_f = max(child_g, h, f)
+                    if child_f < ub:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child_f,
+                                neg_depth - 1,
+                                next(sequence),
+                                child_g,
+                                prefix + (child,),
+                                tuple(grandchildren),
+                                child_forced,
+                            ),
+                        )
+                    else:
+                        prune_ub.inc()
+                    working.restore()
 
-    # Every state with f < ub was exhausted: ub is the treewidth.
-    return certified(ub, ub_ordering, budget, name)
+        # Every state with f < ub was exhausted: ub is the treewidth.
+        return _finish(certified(ub, ub_ordering, budget, name))

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 
+from repro import obs
 from repro.bounds.ghw_lower import tw_ksc_width_remaining
 from repro.bounds.upper import min_degree_ordering, min_fill_ordering
 from repro.hypergraphs.elimination_graph import EliminationGraph
@@ -36,6 +37,7 @@ from repro.reductions.simplicial import find_simplicial
 from repro.search.common import (
     SearchBudget,
     SearchResult,
+    attach_metrics,
     certified,
     interrupted,
 )
@@ -95,103 +97,134 @@ def branch_and_bound_ghw(
     """Compute ``ghw(hypergraph)`` (or bounds, if interrupted)."""
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "bb-ghw"
+    ins = obs.current()
+    metrics = ins.metrics
+    nodes_total = metrics.counter("nodes", solver=name)
+    prune_pr1 = metrics.counter("prunes", rule="pr1", solver=name)
+    prune_pr2 = metrics.counter("prunes", rule="pr2", solver=name)
+    prune_incumbent = metrics.counter("prunes", rule="incumbent", solver=name)
+    prune_lb = metrics.counter("prunes", rule="lb", solver=name)
+    forced_total = metrics.counter("reductions", kind="forced", solver=name)
+
+    def _finish(result: SearchResult) -> SearchResult:
+        return attach_metrics(result, metrics)
+
     n = hypergraph.num_vertices()
     if n == 0 or hypergraph.num_edges() == 0:
-        return certified(0, sorted(hypergraph.vertices(), key=repr), budget, name)
+        return _finish(
+            certified(0, sorted(hypergraph.vertices(), key=repr), budget, name)
+        )
 
     edges = hypergraph.edges()
     solver = ExactSetCoverSolver(edges)
     primal = hypergraph.primal_graph()
 
-    root_lb = tw_ksc_width_remaining(
-        hypergraph, primal, tw_methods=lb_methods, rng=rng
-    )
-    ub_width, ub_ordering = initial_ghw_incumbent(hypergraph, solver, rng)
-    incumbent = _Incumbent(ub_width, ub_ordering)
-    if root_lb >= incumbent.width:
-        return certified(incumbent.width, incumbent.ordering, budget, name)
-
-    working = EliminationGraph(primal)
-    aborted = False
-
-    def remainder_cover_size() -> int:
-        """Greedy cover of all remaining vertices (PR1's certificate)."""
-        remaining = working.vertices()
-        if not remaining:
-            return 0
-        restricted = {
-            name_: edge & remaining
-            for name_, edge in edges.items()
-            if edge & remaining
-        }
-        return len(
-            greedy_set_cover(
-                remaining,
-                {k: frozenset(v) for k, v in restricted.items()},
+    with ins.tracer.span(name, vertices=n, edges=hypergraph.num_edges()):
+        with ins.tracer.span("root_bounds"):
+            root_lb = tw_ksc_width_remaining(
+                hypergraph, primal, tw_methods=lb_methods, rng=rng
             )
-        )
-
-    def visit(g: int, children: list[Vertex], forced: bool) -> None:
-        nonlocal aborted
-        if aborted or budget.exhausted():
-            aborted = True
-            return
-        budget.charge()
-
-        prefix = working.eliminated()
-        if working.num_vertices() == 0:
-            incumbent.offer(g, list(prefix))
-            return
-
-        achievable, close = pr1_ghw(g, remainder_cover_size())
-        if achievable < incumbent.width:
-            incumbent.offer(
-                achievable, list(prefix) + sorted(working.vertices(), key=repr)
+            ub_width, ub_ordering = initial_ghw_incumbent(hypergraph, solver, rng)
+        incumbent = _Incumbent(ub_width, ub_ordering)
+        if root_lb >= incumbent.width:
+            return _finish(
+                certified(incumbent.width, incumbent.ordering, budget, name)
             )
-        if close:
-            return
 
-        ranked = sorted(
-            children, key=lambda v: (working.degree(v), repr(v))
-        )
-        for child in ranked:
-            if aborted:
-                return
-            bag = {child} | working.neighbours(child)
-            child_g = max(g, solver.cover_size(bag))
-            if child_g >= incumbent.width:
-                continue
-            grandchildren = [v for v in working.vertices() if v != child]
-            if use_pr2 and not forced:
-                grandchildren = pr2_prune_children(
-                    working.graph(), child, grandchildren,
-                    swap_safe=swap_safe_ghw,
+        working = EliminationGraph(primal)
+        aborted = False
+
+        def remainder_cover_size() -> int:
+            """Greedy cover of all remaining vertices (PR1's certificate)."""
+            remaining = working.vertices()
+            if not remaining:
+                return 0
+            restricted = {
+                name_: edge & remaining
+                for name_, edge in edges.items()
+                if edge & remaining
+            }
+            return len(
+                greedy_set_cover(
+                    remaining,
+                    {k: frozenset(v) for k, v in restricted.items()},
                 )
-            working.eliminate(child)
-            child_forced = False
-            if use_reductions:
-                simplicial = find_simplicial(working.graph())
-                if simplicial is not None:
-                    grandchildren = [simplicial]
-                    child_forced = True
-            h = tw_ksc_width_remaining(
-                hypergraph, working.graph(), tw_methods=lb_methods, rng=rng
             )
-            if max(child_g, h) < incumbent.width:
-                visit(child_g, grandchildren, child_forced)
-            working.restore()
 
-    root_children = sorted(primal.vertices(), key=repr)
-    root_forced = False
-    if use_reductions:
-        simplicial = find_simplicial(primal)
-        if simplicial is not None:
-            root_children = [simplicial]
-            root_forced = True
-    visit(0, root_children, root_forced)
+        def visit(g: int, children: list[Vertex], forced: bool) -> None:
+            nonlocal aborted
+            if aborted or budget.exhausted():
+                aborted = True
+                return
+            budget.charge()
+            nodes_total.inc()
 
-    if aborted:
-        return interrupted(
-            root_lb, incumbent.width, incumbent.ordering, budget, name
+            prefix = working.eliminated()
+            if working.num_vertices() == 0:
+                incumbent.offer(g, list(prefix))
+                return
+
+            achievable, close = pr1_ghw(g, remainder_cover_size())
+            if achievable < incumbent.width:
+                incumbent.offer(
+                    achievable, list(prefix) + sorted(working.vertices(), key=repr)
+                )
+            if close:
+                prune_pr1.inc()
+                return
+
+            ranked = sorted(
+                children, key=lambda v: (working.degree(v), repr(v))
+            )
+            for child in ranked:
+                if aborted:
+                    return
+                bag = {child} | working.neighbours(child)
+                child_g = max(g, solver.cover_size(bag))
+                if child_g >= incumbent.width:
+                    prune_incumbent.inc()
+                    continue
+                grandchildren = [v for v in working.vertices() if v != child]
+                if use_pr2 and not forced:
+                    kept = pr2_prune_children(
+                        working.graph(), child, grandchildren,
+                        swap_safe=swap_safe_ghw,
+                    )
+                    prune_pr2.inc(len(grandchildren) - len(kept))
+                    grandchildren = kept
+                working.eliminate(child)
+                child_forced = False
+                if use_reductions:
+                    simplicial = find_simplicial(working.graph())
+                    if simplicial is not None:
+                        grandchildren = [simplicial]
+                        child_forced = True
+                        forced_total.inc()
+                h = tw_ksc_width_remaining(
+                    hypergraph, working.graph(), tw_methods=lb_methods, rng=rng
+                )
+                if max(child_g, h) < incumbent.width:
+                    visit(child_g, grandchildren, child_forced)
+                else:
+                    prune_lb.inc()
+                working.restore()
+
+        root_children = sorted(primal.vertices(), key=repr)
+        root_forced = False
+        if use_reductions:
+            simplicial = find_simplicial(primal)
+            if simplicial is not None:
+                root_children = [simplicial]
+                root_forced = True
+        with ins.tracer.span("search"):
+            visit(0, root_children, root_forced)
+
+        if aborted:
+            return _finish(
+                interrupted(
+                    root_lb, incumbent.width, incumbent.ordering, budget, name
+                )
+            )
+        return _finish(
+            certified(incumbent.width, incumbent.ordering, budget, name)
         )
-    return certified(incumbent.width, incumbent.ordering, budget, name)

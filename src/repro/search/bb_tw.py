@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 
+from repro import obs
 from repro.bounds.lower import treewidth_lower_bound
 from repro.bounds.upper import upper_bound_ordering
 from repro.hypergraphs.elimination_graph import EliminationGraph
@@ -27,6 +28,7 @@ from repro.reductions.simplicial import find_reduction_vertex
 from repro.search.common import (
     SearchBudget,
     SearchResult,
+    attach_metrics,
     certified,
     interrupted,
 )
@@ -57,91 +59,120 @@ def branch_and_bound_treewidth(
     """Compute the treewidth of ``graph`` (or bounds, if interrupted)."""
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "bb-tw"
+    ins = obs.current()
+    metrics = ins.metrics
+    nodes_total = metrics.counter("nodes", solver=name)
+    prune_pr1 = metrics.counter("prunes", rule="pr1", solver=name)
+    prune_pr2 = metrics.counter("prunes", rule="pr2", solver=name)
+    prune_incumbent = metrics.counter("prunes", rule="incumbent", solver=name)
+    prune_lb = metrics.counter("prunes", rule="lb", solver=name)
+    forced_total = metrics.counter("reductions", kind="forced", solver=name)
+
+    def _finish(result: SearchResult) -> SearchResult:
+        return attach_metrics(result, metrics)
+
     n = graph.num_vertices()
     if n == 0:
-        return certified(0, [], budget, name)
+        return _finish(certified(0, [], budget, name))
     if n == 1:
-        return certified(0, list(graph.vertices()), budget, name)
+        return _finish(certified(0, list(graph.vertices()), budget, name))
 
-    root_lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
-    ub_width, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
-    incumbent = _Incumbent(ub_width, ub_ordering)
-    if root_lb >= incumbent.width:
-        return certified(incumbent.width, incumbent.ordering, budget, name)
-
-    working = EliminationGraph(graph)
-    aborted = False
-
-    def visit(g: int, children: list[Vertex], forced: bool) -> None:
-        """Depth-first expansion; ``children`` were computed by the parent
-        (so PR2 could consult the pre-elimination graph)."""
-        nonlocal aborted
-        if aborted or budget.exhausted():
-            aborted = True
-            return
-        budget.charge()
-
-        remaining = working.num_vertices()
-        prefix = working.eliminated()
-        if remaining == 0:
-            incumbent.offer(g, list(prefix))
-            return
-
-        achievable, close = pr1_treewidth(g, remaining)
-        if achievable < incumbent.width:
-            incumbent.offer(
-                achievable, list(prefix) + sorted(working.vertices(), key=repr)
+    with ins.tracer.span(name, vertices=n):
+        with ins.tracer.span("root_bounds"):
+            root_lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
+            ub_width, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
+        incumbent = _Incumbent(ub_width, ub_ordering)
+        if root_lb >= incumbent.width:
+            return _finish(
+                certified(incumbent.width, incumbent.ordering, budget, name)
             )
-        if close:
-            return
 
-        # Order children cheapest-degree-first: good solutions early
-        # tighten the incumbent for the remaining siblings.
-        ranked = sorted(
-            children, key=lambda v: (working.degree(v), repr(v))
-        )
-        for child in ranked:
-            if aborted:
+        working = EliminationGraph(graph)
+        aborted = False
+
+        def visit(g: int, children: list[Vertex], forced: bool) -> None:
+            """Depth-first expansion; ``children`` were computed by the parent
+            (so PR2 could consult the pre-elimination graph)."""
+            nonlocal aborted
+            if aborted or budget.exhausted():
+                aborted = True
                 return
-            degree = working.degree(child)
-            child_g = max(g, degree)
-            if child_g >= incumbent.width:
-                continue
-            grandchildren = [
-                v for v in working.vertices() if v != child
-            ]
-            if use_pr2 and not forced:
-                grandchildren = pr2_prune_children(
-                    working.graph(), child, grandchildren,
-                    swap_safe=swap_safe_treewidth,
+            budget.charge()
+            nodes_total.inc()
+
+            remaining = working.num_vertices()
+            prefix = working.eliminated()
+            if remaining == 0:
+                incumbent.offer(g, list(prefix))
+                return
+
+            achievable, close = pr1_treewidth(g, remaining)
+            if achievable < incumbent.width:
+                incumbent.offer(
+                    achievable, list(prefix) + sorted(working.vertices(), key=repr)
                 )
-            working.eliminate(child)
-            child_forced = False
-            if use_reductions:
-                reduction = find_reduction_vertex(
-                    working.graph(), max(child_g, root_lb)
-                )
-                if reduction is not None:
-                    grandchildren = [reduction]
-                    child_forced = True
-            h = treewidth_lower_bound(
-                working.graph(), methods=lb_methods, rng=rng
+            if close:
+                prune_pr1.inc()
+                return
+
+            # Order children cheapest-degree-first: good solutions early
+            # tighten the incumbent for the remaining siblings.
+            ranked = sorted(
+                children, key=lambda v: (working.degree(v), repr(v))
             )
-            if max(child_g, h) < incumbent.width:
-                visit(child_g, grandchildren, child_forced)
-            working.restore()
+            for child in ranked:
+                if aborted:
+                    return
+                degree = working.degree(child)
+                child_g = max(g, degree)
+                if child_g >= incumbent.width:
+                    prune_incumbent.inc()
+                    continue
+                grandchildren = [
+                    v for v in working.vertices() if v != child
+                ]
+                if use_pr2 and not forced:
+                    kept = pr2_prune_children(
+                        working.graph(), child, grandchildren,
+                        swap_safe=swap_safe_treewidth,
+                    )
+                    prune_pr2.inc(len(grandchildren) - len(kept))
+                    grandchildren = kept
+                working.eliminate(child)
+                child_forced = False
+                if use_reductions:
+                    reduction = find_reduction_vertex(
+                        working.graph(), max(child_g, root_lb)
+                    )
+                    if reduction is not None:
+                        grandchildren = [reduction]
+                        child_forced = True
+                        forced_total.inc()
+                h = treewidth_lower_bound(
+                    working.graph(), methods=lb_methods, rng=rng
+                )
+                if max(child_g, h) < incumbent.width:
+                    visit(child_g, grandchildren, child_forced)
+                else:
+                    prune_lb.inc()
+                working.restore()
 
-    root_children = sorted(graph.vertices(), key=repr)
-    root_forced = False
-    if use_reductions:
-        reduction = find_reduction_vertex(graph, root_lb)
-        if reduction is not None:
-            root_children = [reduction]
-            root_forced = True
-    visit(0, root_children, root_forced)
+        root_children = sorted(graph.vertices(), key=repr)
+        root_forced = False
+        if use_reductions:
+            reduction = find_reduction_vertex(graph, root_lb)
+            if reduction is not None:
+                root_children = [reduction]
+                root_forced = True
+        with ins.tracer.span("search"):
+            visit(0, root_children, root_forced)
 
-    if aborted:
-        return interrupted(
-            root_lb, incumbent.width, incumbent.ordering, budget, name
+        if aborted:
+            return _finish(
+                interrupted(
+                    root_lb, incumbent.width, incumbent.ordering, budget, name
+                )
+            )
+        return _finish(
+            certified(incumbent.width, incumbent.ordering, budget, name)
         )
-    return certified(incumbent.width, incumbent.ordering, budget, name)

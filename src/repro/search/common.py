@@ -11,45 +11,42 @@ in which case ``lower_bound``/``upper_bound`` bracket the true answer
 (Section 5.3 explains why the A* frontier yields nondecreasing anytime
 lower bounds; a branch and bound's incumbent yields anytime upper
 bounds).
+
+Resource accounting is the shared :class:`repro.obs.Budget`;
+:class:`SearchBudget` is its search-flavoured face (``node_limit`` /
+``nodes`` vocabulary), so time limits behave identically in searches,
+genetic algorithms and local search.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.hypergraphs.graph import Vertex
+from repro.obs.budget import Budget
+from repro.obs.metrics import MetricsRegistry
 
 
-class SearchBudget:
+class SearchBudget(Budget):
     """Wall-clock and node budget for a search run."""
+
+    __slots__ = ()
 
     def __init__(
         self,
         time_limit: float | None = None,
         node_limit: int | None = None,
     ) -> None:
-        self.time_limit = time_limit
-        self.node_limit = node_limit
-        self.nodes = 0
-        self._start = time.monotonic()
+        super().__init__(time_limit=time_limit, op_limit=node_limit)
 
-    def charge(self) -> None:
-        """Account for one expanded node."""
-        self.nodes += 1
+    @property
+    def nodes(self) -> int:
+        """Expanded-node count (the generic budget's ``ops``)."""
+        return self.ops
 
-    def exhausted(self) -> bool:
-        if self.node_limit is not None and self.nodes >= self.node_limit:
-            return True
-        if (
-            self.time_limit is not None
-            and time.monotonic() - self._start >= self.time_limit
-        ):
-            return True
-        return False
-
-    def elapsed(self) -> float:
-        return time.monotonic() - self._start
+    @property
+    def node_limit(self) -> int | None:
+        return self.op_limit
 
 
 @dataclass
@@ -75,6 +72,14 @@ class SearchResult:
     elapsed: float = 0.0
     algorithm: str = ""
 
+    metrics: dict = field(default_factory=dict)
+    """Metrics snapshot (``repro.obs`` registry) taken when the run
+    finished; empty when the run was not instrumented."""
+
+    budget_exhausted: bool = False
+    """``True`` when a shared budget ran dry before the run (or some
+    component of a combined run) got any budget of its own."""
+
     def __post_init__(self) -> None:
         if self.optimal and self.value is None:
             raise ValueError("optimal result must carry a value")
@@ -93,6 +98,15 @@ class SearchResult:
             f"{self.algorithm}: width={shown} ({status}), "
             f"nodes={self.nodes_expanded}, time={self.elapsed:.2f}s"
         )
+
+
+def attach_metrics(
+    result: SearchResult, registry: MetricsRegistry
+) -> SearchResult:
+    """Stamp the registry's snapshot onto ``result`` (no-op if disabled)."""
+    if registry.enabled:
+        result.metrics = registry.snapshot()
+    return result
 
 
 def certified(

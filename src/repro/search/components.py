@@ -18,15 +18,18 @@ from __future__ import annotations
 import random
 from collections.abc import Callable
 
+from repro import obs
 from repro.hypergraphs.graph import Graph, Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
-from repro.search.common import SearchResult
+from repro.search.common import SearchResult, attach_metrics
 
 GraphSolver = Callable[..., SearchResult]
 
 
 def _combine(
-    pieces: list[SearchResult], algorithm: str
+    pieces: list[SearchResult],
+    algorithm: str,
+    budget_exhausted: bool = False,
 ) -> SearchResult:
     """Max-combine per-component results into one."""
     if not pieces:
@@ -45,7 +48,7 @@ def _combine(
     optimal = all(piece.optimal for piece in pieces)
     nodes = sum(piece.nodes_expanded for piece in pieces)
     elapsed = sum(piece.elapsed for piece in pieces)
-    return SearchResult(
+    combined = SearchResult(
         value=upper if optimal else None,
         lower_bound=upper if optimal else lower,
         upper_bound=upper,
@@ -54,7 +57,32 @@ def _combine(
         nodes_expanded=nodes,
         elapsed=elapsed,
         algorithm=f"{algorithm}+components",
+        budget_exhausted=budget_exhausted
+        or any(piece.budget_exhausted for piece in pieces),
     )
+    # The ambient registry saw every per-component run, so its snapshot
+    # is already the whole-instance tally.
+    return attach_metrics(combined, obs.current().metrics)
+
+
+def _spend(
+    remaining_nodes: int | None, piece: SearchResult, components_left: int
+) -> tuple[int | None, bool]:
+    """Deduct a component's node spend from the shared budget.
+
+    Returns the remaining budget and whether the budget just ran dry
+    with components still waiting — previously the budget was silently
+    floored at one node, which hid exhaustion from callers.
+    """
+    if remaining_nodes is None:
+        return None, False
+    remaining_nodes = max(0, remaining_nodes - piece.nodes_expanded)
+    exhausted = remaining_nodes == 0 and components_left > 0
+    if exhausted:
+        obs.current().metrics.counter(
+            "budget_exhausted", scope="components"
+        ).inc()
+    return remaining_nodes, exhausted
 
 
 def treewidth_by_components(
@@ -76,7 +104,8 @@ def treewidth_by_components(
     components.sort(key=len, reverse=True)
     pieces: list[SearchResult] = []
     remaining_nodes = node_limit
-    for component in components:
+    exhausted = False
+    for index, component in enumerate(components):
         piece = solver(
             graph.subgraph(component),
             time_limit=time_limit,
@@ -84,10 +113,12 @@ def treewidth_by_components(
             rng=rng,
         )
         pieces.append(piece)
-        if remaining_nodes is not None:
-            remaining_nodes = max(1, remaining_nodes - piece.nodes_expanded)
+        remaining_nodes, ran_dry = _spend(
+            remaining_nodes, piece, len(components) - index - 1
+        )
+        exhausted = exhausted or ran_dry
     name = pieces[0].algorithm if pieces else "tw"
-    return _combine(pieces, name)
+    return _combine(pieces, name, budget_exhausted=exhausted)
 
 
 def ghw_by_components(
@@ -108,7 +139,8 @@ def ghw_by_components(
     components.sort(key=len, reverse=True)
     pieces: list[SearchResult] = []
     remaining_nodes = node_limit
-    for component in components:
+    exhausted = False
+    for index, component in enumerate(components):
         names = {
             name
             for name, edge in hypergraph.edges().items()
@@ -124,7 +156,9 @@ def ghw_by_components(
             rng=rng,
         )
         pieces.append(piece)
-        if remaining_nodes is not None:
-            remaining_nodes = max(1, remaining_nodes - piece.nodes_expanded)
+        remaining_nodes, ran_dry = _spend(
+            remaining_nodes, piece, len(components) - index - 1
+        )
+        exhausted = exhausted or ran_dry
     name = pieces[0].algorithm if pieces else "ghw"
-    return _combine(pieces, name)
+    return _combine(pieces, name, budget_exhausted=exhausted)

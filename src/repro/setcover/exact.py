@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from math import ceil
 
+from repro import obs
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import EdgeName
 from repro.setcover.greedy import UncoverableError, greedy_set_cover
@@ -58,16 +59,22 @@ class ExactSetCoverSolver:
     def __init__(self, edges: Mapping[EdgeName, frozenset[Vertex]]) -> None:
         self._edges = {name: frozenset(edge) for name, edge in edges.items()}
         self._memo: dict[frozenset[Vertex], tuple[EdgeName, ...]] = {}
+        self._nodes = 0
 
     def cover(self, target: Iterable[Vertex]) -> list[EdgeName]:
         """An optimal cover of ``target``; raises if uncoverable."""
         universe = set(target)
         if not universe:
             return []
+        metrics = obs.current().metrics
         key = frozenset(universe)
         cached = self._memo.get(key)
         if cached is not None:
+            if metrics.enabled:
+                metrics.counter("setcover_cache", event="hit").inc()
             return list(cached)
+        if metrics.enabled:
+            metrics.counter("setcover_cache", event="miss").inc()
         edges = _prune_dominated(self._edges, universe)
         coverable: set[Vertex] = set()
         for edge in edges.values():
@@ -79,9 +86,12 @@ class ExactSetCoverSolver:
             )
         best = greedy_set_cover(universe, edges)
         best_tuple = tuple(best)
+        nodes_before = self._nodes
         result = self._search(frozenset(universe), edges, (), len(best))
         if result is not None:
             best_tuple = result
+        if metrics.enabled:
+            metrics.counter("setcover_nodes").inc(self._nodes - nodes_before)
         self._memo[key] = best_tuple
         return list(best_tuple)
 
@@ -96,6 +106,7 @@ class ExactSetCoverSolver:
         budget: int,
     ) -> tuple[EdgeName, ...] | None:
         """Find a cover strictly smaller than ``budget`` if one exists."""
+        self._nodes += 1
         if not uncovered:
             return chosen if len(chosen) < budget else None
         max_gain = max(len(edge & uncovered) for edge in edges.values())

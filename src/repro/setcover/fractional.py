@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import EdgeName, Hypergraph
 from repro.setcover.greedy import UncoverableError
@@ -50,6 +51,9 @@ def fractional_cover_value(
         raise UncoverableError(
             f"vertices {sorted(map(repr, missing))} appear in no hyperedge"
         )
+    metrics = obs.current().metrics
+    if metrics.enabled:
+        metrics.counter("setcover", algo="fractional", event="lp_call").inc()
     # A_ub x <= b_ub with the >= constraints negated.
     a_ub = [
         [-1.0 if vertex in edges[name] else 0.0 for name in useful]

@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable, Mapping
 
+from repro import obs
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import EdgeName
 
@@ -45,6 +46,9 @@ def greedy_set_cover(
     UncoverableError
         If some target vertex appears in no edge at all.
     """
+    metrics = obs.current().metrics
+    if metrics.enabled:
+        metrics.counter("setcover", algo="greedy", event="call").inc()
     uncovered = set(target)
     if not uncovered:
         return []

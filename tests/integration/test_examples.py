@@ -22,6 +22,7 @@ LANDMARKS = {
     "width_hierarchy.py": "integrality gap",
     "bayesian_inference_cost.py": "40-state variable",
     "custom_experiment.py": "BB-ghw certified",
+    "telemetry_tour.py": "validated reports in runs.jsonl",
 }
 
 

@@ -1,0 +1,91 @@
+"""The shared Budget and the ambient instrument()/current() runtime."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.budget import Budget
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBudget:
+    def test_unlimited_never_exhausts(self):
+        budget = Budget()
+        budget.charge(10**9)
+        assert not budget.exhausted()
+        assert budget.exhausted_reason() is None
+        assert budget.remaining_time() is None
+
+    def test_op_limit_inclusive(self):
+        budget = Budget(op_limit=3)
+        budget.charge(2)
+        assert not budget.exhausted()
+        budget.charge()
+        assert budget.exhausted()
+        assert budget.exhausted_reason() == "ops"
+
+    def test_time_limit_inclusive(self):
+        clock = FakeClock()
+        budget = Budget(time_limit=5.0, clock=clock)
+        clock.now = 4.9
+        assert not budget.exhausted()
+        clock.now = 5.0
+        assert budget.exhausted()
+        assert budget.exhausted_reason() == "time"
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        budget = Budget(time_limit=10.0, clock=clock)
+        clock.now = 4.0
+        assert budget.elapsed() == 4.0
+        assert budget.remaining_time() == 6.0
+        clock.now = 50.0
+        assert budget.remaining_time() == 0.0
+
+    def test_ops_reported_before_time(self):
+        clock = FakeClock()
+        budget = Budget(time_limit=1.0, op_limit=1, clock=clock)
+        budget.charge()
+        clock.now = 2.0
+        assert budget.exhausted_reason() == "ops"
+
+
+class TestRuntime:
+    def test_default_is_disabled(self):
+        ins = obs.current()
+        assert not ins.enabled
+        assert ins.metrics.snapshot() == {}
+
+    def test_instrument_activates_and_restores(self):
+        before = obs.current()
+        with obs.instrument() as ins:
+            assert obs.current() is ins
+            assert ins.enabled
+            ins.metrics.counter("nodes").inc()
+        assert obs.current() is before
+        assert ins.metrics.snapshot() == {"nodes": 1}
+
+    def test_nested_blocks_shadow(self):
+        with obs.instrument() as outer:
+            outer.metrics.counter("nodes").inc()
+            with obs.instrument() as inner:
+                obs.current().metrics.counter("nodes").inc(5)
+            assert obs.current() is outer
+            assert inner.metrics.snapshot() == {"nodes": 5}
+        assert outer.metrics.snapshot() == {"nodes": 1}
+
+    def test_half_disabled_pair(self):
+        with obs.instrument(tracer=NULL_TRACER) as ins:
+            assert ins.metrics.enabled
+            assert not ins.tracer.enabled
+            assert ins.enabled
+        with obs.instrument(metrics=NULL_REGISTRY, tracer=NULL_TRACER) as ins:
+            assert not ins.enabled

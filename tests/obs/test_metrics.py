@@ -1,0 +1,124 @@
+"""Counter/gauge/histogram and registry semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_no_labels(self):
+        assert series_key("nodes") == "nodes"
+
+    def test_labels_sorted_by_key(self):
+        assert (
+            series_key("prunes", {"solver": "bb-tw", "rule": "pr2"})
+            == 'prunes{rule="pr2",solver="bb-tw"}'
+        )
+
+    def test_label_order_does_not_matter(self):
+        a = series_key("m", {"a": "1", "b": "2"})
+        b = series_key("m", {"b": "2", "a": "1"})
+        assert a == b
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("nodes")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_same_labels_same_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("prunes", rule="pr1")
+        second = registry.counter("prunes", rule="pr1")
+        first.inc()
+        second.inc()
+        assert first is second
+        assert registry.snapshot()['prunes{rule="pr1"}'] == 2
+
+    def test_different_labels_different_series(self):
+        registry = MetricsRegistry()
+        registry.counter("prunes", rule="pr1").inc()
+        registry.counter("prunes", rule="pr2").inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot['prunes{rule="pr1"}'] == 1
+        assert snapshot['prunes{rule="pr2"}'] == 3
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("best")
+        gauge.set(10)
+        assert gauge.value == 10
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("seconds")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(6.0)
+        assert summary["min"] == pytest.approx(1.0)
+        assert summary["max"] == pytest.approx(3.0)
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_empty_histogram(self):
+        summary = MetricsRegistry().histogram("seconds").summary()
+        assert summary["count"] == 0
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("nodes")
+        with pytest.raises(ValueError):
+            registry.gauge("nodes")
+        with pytest.raises(ValueError):
+            registry.histogram("nodes", solver="bb")
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.snapshot()) == ["alpha", "zeta"]
+
+    def test_snapshot_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        by_kind = registry.snapshot_by_kind()
+        assert by_kind["counters"] == {"c": 2}
+        assert by_kind["gauges"] == {"g": 1.5}
+        assert by_kind["histograms"]["h"]["count"] == 1
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NullMetricsRegistry().enabled
+
+
+class TestNullRegistry:
+    def test_noop_instruments_accept_all_operations(self):
+        counter = NULL_REGISTRY.counter("nodes", solver="bb")
+        counter.inc()
+        counter.inc(100)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_instruments_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b", x="y")

@@ -1,0 +1,161 @@
+"""RunReport capture, JSONL round-tripping, and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    RunReport,
+    append_jsonl,
+    read_jsonl,
+    validate_report,
+)
+
+
+def make_report(**overrides) -> RunReport:
+    base = dict(
+        instance="adder_3",
+        solver="bb",
+        measure="ghw",
+        status="optimal",
+        value=2,
+        lower_bound=2,
+        upper_bound=2,
+        elapsed_s=0.5,
+    )
+    base.update(overrides)
+    return RunReport(**base)
+
+
+class TestCapture:
+    def test_capture_collects_instruments(self):
+        with obs.instrument() as ins:
+            ins.metrics.counter("nodes", solver="bb-ghw").inc(7)
+            ins.metrics.gauge("best").set(3)
+            ins.metrics.histogram("seconds").observe(0.1)
+            with ins.tracer.span("bb-ghw"):
+                pass
+            report = RunReport.capture(
+                ins,
+                instance="x",
+                solver="bb",
+                measure="ghw",
+                status="optimal",
+                value=3,
+            )
+        assert report.counters == {'nodes{solver="bb-ghw"}': 7}
+        assert report.gauges == {"best": 3}
+        assert report.histograms["seconds"]["count"] == 1
+        assert report.spans[0]["name"] == "bb-ghw"
+        assert report.peak_rss_kb is None or report.peak_rss_kb > 0
+        validate_report(report.to_dict())
+
+    def test_capture_disabled_instruments_is_empty(self):
+        report = RunReport.capture(
+            obs.DISABLED,
+            instance="x",
+            solver="bb",
+            measure="tw",
+            status="heuristic",
+            upper_bound=4,
+        )
+        assert report.counters == {}
+        assert report.spans == []
+        validate_report(report.to_dict())
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        report = make_report(
+            counters={"nodes": 12},
+            spans=[{"name": "bb-ghw", "duration_s": 0.01}],
+            meta={"seed": 0},
+        )
+        restored = RunReport.from_json(report.to_json())
+        assert restored == report
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        first = make_report()
+        second = make_report(
+            instance="grid_3x3", status="heuristic", value=None,
+            lower_bound=None, upper_bound=3,
+        )
+        append_jsonl(path, first)
+        append_jsonl(path, second)
+        assert read_jsonl(path) == [first, second]
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text(make_report().to_json() + "\n\n\n")
+        assert len(read_jsonl(path)) == 1
+
+
+class TestValidate:
+    def test_valid_report_passes(self):
+        validate_report(make_report().to_dict())
+
+    def test_missing_required_field(self):
+        data = make_report().to_dict()
+        del data["instance"]
+        with pytest.raises(ValueError, match="instance"):
+            validate_report(data)
+
+    def test_unknown_field_rejected(self):
+        data = make_report().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown fields"):
+            validate_report(data)
+
+    def test_bad_status_rejected(self):
+        data = make_report().to_dict()
+        data["status"] = "finished"
+        with pytest.raises(ValueError, match="status"):
+            validate_report(data)
+
+    def test_wrong_schema_version_rejected(self):
+        data = make_report().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_report(data)
+
+    def test_bool_is_not_an_int(self):
+        data = make_report().to_dict()
+        data["value"] = True
+        with pytest.raises(ValueError, match="value"):
+            validate_report(data)
+
+    def test_non_integer_counter_rejected(self):
+        data = make_report(counters={"nodes": 1.5}).to_dict()
+        with pytest.raises(ValueError, match="nodes"):
+            validate_report(data)
+
+    def test_span_without_name_rejected(self):
+        data = make_report(spans=[{"duration_s": 0.1}]).to_dict()
+        with pytest.raises(ValueError, match="name"):
+            validate_report(data)
+
+    def test_all_problems_reported_at_once(self):
+        data = make_report().to_dict()
+        del data["solver"]
+        data["status"] = "nope"
+        data["extra"] = 1
+        with pytest.raises(ValueError) as excinfo:
+            validate_report(data)
+        message = str(excinfo.value)
+        assert "solver" in message
+        assert "nope" in message
+        assert "extra" in message
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_report([1, 2, 3])
+
+    def test_emitted_line_is_one_json_object(self):
+        line = make_report().to_json()
+        assert "\n" not in line
+        validate_report(json.loads(line))

@@ -1,0 +1,106 @@
+"""Span tracer: nesting, timing monotonicity, and the no-op path."""
+
+from __future__ import annotations
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class FakeClock:
+    """Deterministic clock advancing a fixed step per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_single_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root", vertices=5) as span:
+            pass
+        assert [s.name for s in tracer.roots] == ["root"]
+        assert span.attrs == {"vertices": 5}
+        assert span.duration == 1.0
+
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        (outer,) = tracer.roots
+        assert [child.name for child in outer.children] == ["first", "second"]
+        assert not outer.children[0].children
+
+    def test_child_durations_within_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.roots
+        (inner,) = outer.children
+        assert inner.start >= outer.start
+        assert inner.duration <= outer.duration
+
+    def test_sequential_spans_are_monotone(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.roots
+        assert b.start >= a.start + a.duration
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root"):
+            with tracer.span("left"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("right"):
+                pass
+        names = [span.name for span in tracer.walk()]
+        assert names == ["root", "left", "leaf", "right"]
+
+    def test_total_sums_same_named_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        assert tracer.total("phase") == 3.0
+        assert tracer.total("absent") == 0.0
+
+    def test_tree_serialises_to_plain_dicts(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root", n=2):
+            with tracer.span("child"):
+                pass
+        (root,) = tracer.tree()
+        assert root["name"] == "root"
+        assert root["attrs"] == {"n": 2}
+        assert root["children"][0]["name"] == "child"
+        assert isinstance(root["duration_s"], float)
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        tracer = NullTracer()
+        first = tracer.span("a", x=1)
+        second = tracer.span("b")
+        assert first is second
+        with first:
+            pass
+        assert tracer.tree() == []
+        assert list(tracer.walk()) == []
+
+    def test_module_singleton_disabled(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything"):
+            pass
+        assert NULL_TRACER.roots == []
