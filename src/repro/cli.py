@@ -86,6 +86,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--backend",
+        choices=("python", "bitset"),
+        default="python",
+        help=(
+            "fitness kernel for the heuristics: pure-Python reference or "
+            "the bitset kernel with the shared cover cache"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate GA/SAIGA populations on N worker processes",
+    )
+    parser.add_argument(
+        "--cover-cache-size",
+        type=int,
+        default=None,
+        metavar="M",
+        help="resize the process-wide bag-cover cache to M entries",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="print the run's metric counters to stderr",
@@ -170,7 +193,10 @@ def _run_measure(
 
             run = sa_treewidth if args.algorithm == "sa" else tabu_treewidth
             bound = run(
-                loaded, seed=args.seed, time_limit=args.time_limit
+                loaded,
+                seed=args.seed,
+                time_limit=args.time_limit,
+                backend=args.backend,
             ).best_fitness
             print(f"{label}  {size}  tw <= {bound} ({args.algorithm})")
             fields = _bound_fields(bound)
@@ -180,6 +206,8 @@ def _run_measure(
                 method=args.algorithm,
                 seed=args.seed,
                 time_limit=args.time_limit,
+                backend=args.backend,
+                jobs=args.jobs,
             )
             print(f"{label}  {size}  tw <= {bound} ({args.algorithm})")
             fields = _bound_fields(bound)
@@ -197,6 +225,8 @@ def _run_measure(
                 time_limit=args.time_limit,
                 node_limit=args.node_limit,
                 seed=args.seed,
+                backend=args.backend,
+                jobs=args.jobs,
             )
             write_tree_decomposition(decomposition, args.output)
             print(f"wrote {args.output}")
@@ -236,7 +266,10 @@ def _run_measure(
 
             run = sa_ghw if args.algorithm == "sa" else tabu_ghw
             bound = run(
-                loaded, seed=args.seed, time_limit=args.time_limit
+                loaded,
+                seed=args.seed,
+                time_limit=args.time_limit,
+                backend=args.backend,
             ).best_fitness
             print(f"{label}  {size}  ghw <= {bound} ({args.algorithm})")
             fields = _bound_fields(bound)
@@ -246,6 +279,8 @@ def _run_measure(
                 method=args.algorithm,
                 seed=args.seed,
                 time_limit=args.time_limit,
+                backend=args.backend,
+                jobs=args.jobs,
             )
             print(f"{label}  {size}  ghw <= {bound} ({args.algorithm})")
             fields = _bound_fields(bound)
@@ -258,6 +293,8 @@ def _run_measure(
                 time_limit=args.time_limit,
                 node_limit=args.node_limit,
                 seed=args.seed,
+                backend=args.backend,
+                jobs=args.jobs,
             )
             write_ghd(ghd, args.output)
             print(f"wrote {args.output}")
@@ -266,6 +303,17 @@ def _run_measure(
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.cover_cache_size is not None:
+        from repro.kernels.cache import configure_cover_cache
+
+        try:
+            configure_cover_cache(args.cover_cache_size)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         loaded = _load(args)
     except (KeyError, OSError, ValueError) as exc:
@@ -287,13 +335,22 @@ def main(argv: list[str] | None = None) -> int:
         return code
 
     if telemetry:
+        from repro.kernels.cache import cover_cache
+
+        cache = cover_cache()
         report = RunReport.capture(
             ins,
             instance=label,
             solver=args.algorithm if args.measure != "hw" else "hw",
             measure=args.measure,
             elapsed_s=time.monotonic() - started,
-            meta={"seed": args.seed},
+            meta={
+                "seed": args.seed,
+                "backend": args.backend,
+                "jobs": args.jobs,
+                "cover_cache_size": cache.maxsize,
+                "cover_cache": cache.stats(),
+            },
             **fields,
         )
         if args.metrics:

@@ -139,13 +139,24 @@ def treewidth_upper_bound(
     parameters: GAParameters | None = None,
     seed: int = 0,
     time_limit: float | None = None,
+    backend: str = "python",
+    jobs: int = 1,
 ) -> int:
     """Heuristic treewidth upper bound: ``"ga"`` (GA-tw) or an ordering
-    heuristic name (``"min-fill"``, ``"min-degree"``, ...)."""
+    heuristic name (``"min-fill"``, ``"min-degree"``, ...).
+
+    ``backend``/``jobs`` select the GA's fitness kernel and parallelism
+    (see :mod:`repro.kernels`); ordering heuristics ignore them.
+    """
     graph = _as_graph(instance)
     if method == "ga":
         return ga_treewidth(
-            graph, parameters=parameters, seed=seed, time_limit=time_limit
+            graph,
+            parameters=parameters,
+            seed=seed,
+            time_limit=time_limit,
+            backend=backend,
+            jobs=jobs,
         ).best_fitness
     width, _ordering = upper_bound_ordering(
         graph, method, random.Random(seed)
@@ -231,16 +242,31 @@ def ghw_upper_bound(
     parameters: GAParameters | None = None,
     seed: int = 0,
     time_limit: float | None = None,
+    backend: str = "python",
+    jobs: int = 1,
 ) -> int:
-    """Heuristic ghw upper bound: ``"ga"`` (GA-ghw) or ``"saiga"``."""
+    """Heuristic ghw upper bound: ``"ga"`` (GA-ghw) or ``"saiga"``.
+
+    ``backend``/``jobs`` select the fitness kernel and parallelism
+    (see :mod:`repro.kernels`).
+    """
     validate_hypergraph(hypergraph)
     if method == "ga":
         return ga_ghw(
-            hypergraph, parameters=parameters, seed=seed, time_limit=time_limit
+            hypergraph,
+            parameters=parameters,
+            seed=seed,
+            time_limit=time_limit,
+            backend=backend,
+            jobs=jobs,
         ).best_fitness
     if method == "saiga":
         return saiga_ghw(
-            hypergraph, seed=seed, time_limit=time_limit
+            hypergraph,
+            seed=seed,
+            time_limit=time_limit,
+            backend=backend,
+            jobs=jobs,
         ).best_fitness
     raise ValueError(f"unknown ghw upper-bound method {method!r}")
 
@@ -251,11 +277,14 @@ def decompose_graph(
     time_limit: float | None = None,
     node_limit: int | None = None,
     seed: int = 0,
+    backend: str = "python",
+    jobs: int = 1,
 ) -> TreeDecomposition:
     """A validated tree decomposition of ``graph``.
 
     Exact algorithms produce optimal width when they finish; under a
     budget the best ordering found so far is materialised.
+    ``backend``/``jobs`` apply to the ``"ga"`` path only.
     """
     if graph.num_vertices() == 0:
         raise ValueError("cannot decompose the empty graph")
@@ -270,7 +299,7 @@ def decompose_graph(
         ordering = result.ordering
     elif algorithm == "ga":
         ordering = ga_treewidth(
-            graph, seed=seed, time_limit=time_limit
+            graph, seed=seed, time_limit=time_limit, backend=backend, jobs=jobs
         ).best_individual
     else:
         _width, ordering = upper_bound_ordering(
@@ -289,12 +318,15 @@ def decompose(
     node_limit: int | None = None,
     seed: int = 0,
     complete: bool = True,
+    backend: str = "python",
+    jobs: int = 1,
 ) -> GeneralizedHypertreeDecomposition:
     """A validated (complete) GHD of ``hypergraph``.
 
     ``algorithm`` selects how the ordering is found (``"bb"``,
     ``"astar"``, ``"ga"``, ``"saiga"`` or an ordering heuristic name);
-    ``cover`` selects how bags are covered (``"exact"`` or ``"greedy"``).
+    ``cover`` selects how bags are covered (``"exact"`` or ``"greedy"``);
+    ``backend``/``jobs`` apply to the ``"ga"``/``"saiga"`` paths.
     """
     validate_hypergraph(hypergraph)
     if hypergraph.num_vertices() == 0:
@@ -310,11 +342,19 @@ def decompose(
         ordering = result.ordering
     elif algorithm == "ga":
         ordering = ga_ghw(
-            hypergraph, seed=seed, time_limit=time_limit
+            hypergraph,
+            seed=seed,
+            time_limit=time_limit,
+            backend=backend,
+            jobs=jobs,
         ).best_individual
     elif algorithm == "saiga":
         ordering = saiga_ghw(
-            hypergraph, seed=seed, time_limit=time_limit
+            hypergraph,
+            seed=seed,
+            time_limit=time_limit,
+            backend=backend,
+            jobs=jobs,
         ).best_individual
     else:
         _width, ordering = upper_bound_ordering(

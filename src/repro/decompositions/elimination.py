@@ -17,25 +17,84 @@ GHD of width exactly ``ghw(H)`` when covers are exact.
 
 Fast width evaluation (Figures 6.2 and 7.1) avoids building any graph
 objects in the GA inner loop; it is the O(|V| + |E'|) bucket-propagation
-scheme of Golumbic's perfect-elimination test.
+scheme of Golumbic's perfect-elimination test. ``backend="bitset"``
+switches :func:`ordering_width` and :func:`ordering_ghw` to the
+:mod:`repro.kernels` bitmask kernel, which returns identical widths on
+all deterministic paths (property-tested); hot loops should build a
+kernel evaluator once via :mod:`repro.kernels.evaluators` instead of
+paying the per-call interning here.
+
+Set covers — greedy deterministic and exact — are memoised in the
+process-wide :func:`~repro.kernels.cache.cover_cache`, so
+:func:`ordering_to_ghd` reuses the covers :func:`ordering_ghw` already
+computed for the same bags rather than solving them again.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.decompositions.ghd import GeneralizedHypertreeDecomposition
 from repro.decompositions.tree_decomposition import TreeDecomposition
 from repro.hypergraphs.graph import Graph, Vertex
-from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.hypergraph import EdgeName, Hypergraph
+from repro.kernels.cache import cover_cache, edges_token
 from repro.setcover.exact import ExactSetCoverSolver
 from repro.setcover.greedy import greedy_set_cover
 
 
 def _check_ordering(vertices: set[Vertex], ordering: Sequence[Vertex]) -> None:
-    if len(ordering) != len(set(ordering)) or set(ordering) != vertices:
-        raise ValueError("ordering is not a permutation of the vertices")
+    """Reject orderings that are not permutations of ``vertices``.
+
+    One pass over the ordering; the error names the offending vertex so
+    callers can see *which* duplicate/unknown/missing vertex broke it.
+    """
+    seen: set[Vertex] = set()
+    for vertex in ordering:
+        if vertex in seen:
+            raise ValueError(
+                "ordering is not a permutation of the vertices: "
+                f"duplicate vertex {vertex!r}"
+            )
+        if vertex not in vertices:
+            raise ValueError(
+                "ordering is not a permutation of the vertices: "
+                f"unknown vertex {vertex!r}"
+            )
+        seen.add(vertex)
+    if len(seen) != len(vertices):
+        missing = min(vertices - seen, key=repr)
+        raise ValueError(
+            "ordering is not a permutation of the vertices: "
+            f"missing vertex {missing!r}"
+        )
+
+
+def _cached_greedy_cover(
+    bag: set[Vertex],
+    edges: Mapping[EdgeName, frozenset[Vertex]],
+    rng: random.Random | None,
+    token: int | None,
+) -> list[EdgeName]:
+    """Greedy cover of ``bag``, via the shared cache when deterministic.
+
+    With an ``rng`` the thesis's randomised tie-breaking applies and the
+    result is intentionally never cached (re-randomisation is part of
+    the semantics); without one the deterministic greedy cover is
+    memoised process-wide, so :func:`ordering_ghw` and
+    :func:`ordering_to_ghd` each solve any given bag at most once.
+    """
+    if rng is not None or token is None:
+        return greedy_set_cover(bag, edges, rng=rng)
+    cache = cover_cache()
+    key = frozenset(bag)
+    cached = cache.get(token, "greedy", key)
+    if cached is not None:
+        return list(cached)
+    cover = greedy_set_cover(bag, edges)
+    cache.put(token, "greedy", key, tuple(cover))
+    return cover
 
 
 def elimination_bags(
@@ -67,13 +126,24 @@ def elimination_bags(
     return bags
 
 
-def ordering_width(graph: Graph, ordering: Sequence[Vertex]) -> int:
+def ordering_width(
+    graph: Graph, ordering: Sequence[Vertex], backend: str = "python"
+) -> int:
     """Width of the tree decomposition induced by ``ordering``.
 
     Equals ``max |bag| - 1``. Includes the early exit of Figure 6.2: once
     the running width reaches the number of remaining vertices minus one,
-    no later bag can exceed it.
+    no later bag can exceed it. ``backend="bitset"`` evaluates on the
+    bitmask kernel instead (identical result).
     """
+    if backend != "python":
+        from repro.kernels.bithypergraph import BitGraph
+        from repro.kernels.elimination import bit_ordering_width
+        from repro.kernels.evaluators import check_backend
+
+        check_backend(backend)
+        bg = BitGraph.from_graph(graph)
+        return bit_ordering_width(bg, bg.order_of(ordering))
     _check_ordering(graph.vertices(), ordering)
     position = {vertex: i for i, vertex in enumerate(ordering)}
     forward: dict[Vertex, set[Vertex]] = {
@@ -104,6 +174,7 @@ def ordering_ghw(
     cover: str = "greedy",
     rng: random.Random | None = None,
     solver: ExactSetCoverSolver | None = None,
+    backend: str = "python",
 ) -> int:
     """Cover width of ``ordering``: ``width(sigma, H)`` of Definition 17.
 
@@ -111,8 +182,19 @@ def ordering_ghw(
     the maximum cover size over all bags is returned. With
     ``cover="exact"`` this is the exact quantity whose minimum over all
     orderings equals ``ghw(H)`` (Theorem 3); with ``cover="greedy"`` it is
-    the upper bound GA-ghw optimises (Figure 7.1).
+    the upper bound GA-ghw optimises (Figure 7.1). Covers are memoised
+    in the shared cover cache (except greedy with an ``rng``, whose
+    random tie-breaks must stay fresh). ``backend="bitset"`` evaluates
+    on the bitmask kernel; identical on every deterministic path.
     """
+    if backend != "python":
+        from repro.kernels.bithypergraph import BitHypergraph
+        from repro.kernels.elimination import bit_ordering_ghw
+        from repro.kernels.evaluators import check_backend
+
+        check_backend(backend)
+        bh = BitHypergraph.from_hypergraph(hypergraph)
+        return bit_ordering_ghw(bh, bh.order_of(ordering), cover=cover)
     bags = elimination_bags(hypergraph.primal_graph(), ordering)
     edges = hypergraph.edges()
     if cover == "exact":
@@ -122,8 +204,12 @@ def ordering_ghw(
         )
     if cover != "greedy":
         raise ValueError(f"unknown cover mode {cover!r}")
+    token = None if rng is not None else edges_token(edges)
     return max(
-        (len(greedy_set_cover(bag, edges, rng=rng)) for bag in bags.values()),
+        (
+            len(_cached_greedy_cover(bag, edges, rng, token))
+            for bag in bags.values()
+        ),
         default=0,
     )
 
@@ -168,7 +254,9 @@ def ordering_to_ghd(
 
     The chi-labels come from bucket elimination on the primal graph; each
     lambda-label is a set cover of the bag (greedy or exact). The width of
-    the result equals :func:`ordering_ghw` for the same cover mode.
+    the result equals :func:`ordering_ghw` for the same cover mode — and
+    both draw covers from the shared cover cache, so building the GHD for
+    an ordering whose width was already evaluated re-solves nothing.
     """
     tree = ordering_to_tree_decomposition(hypergraph.primal_graph(), ordering)
     edges = hypergraph.edges()
@@ -178,9 +266,10 @@ def ordering_to_ghd(
         for node in tree.nodes():
             ghd.covers[node] = set(active_solver.cover(tree.bags[node]))
     elif cover == "greedy":
+        token = None if rng is not None else edges_token(edges)
         for node in tree.nodes():
             ghd.covers[node] = set(
-                greedy_set_cover(tree.bags[node], edges, rng=rng)
+                _cached_greedy_cover(tree.bags[node], edges, rng, token)
             )
     else:
         raise ValueError(f"unknown cover mode {cover!r}")

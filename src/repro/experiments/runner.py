@@ -50,10 +50,19 @@ class ExperimentSpec:
     node_limit: int | None = None
     seed: int = 0
     ga_parameters: GAParameters | None = None
+    backend: str = "python"
+    """Fitness kernel for the heuristics: ``"python"`` or ``"bitset"``."""
+    jobs: int = 1
+    """Process-pool width for GA/SAIGA population evaluation (1 = serial)."""
 
     def validated(self) -> "ExperimentSpec":
         if self.measure not in ("tw", "ghw"):
             raise ValueError("measure must be 'tw' or 'ghw'")
+        from repro.kernels.evaluators import check_backend
+
+        check_backend(self.backend)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
         known = (
             set(EXACT_TW) | set(HEURISTIC_TW)
             if self.measure == "tw"
@@ -145,12 +154,18 @@ def _run_tw_algorithm(name, graph, spec) -> tuple[str | int, dict]:
         return _exact_fields(result)
     if name == "sa":
         result = sa_treewidth(
-            graph, seed=spec.seed, time_limit=spec.time_limit
+            graph,
+            seed=spec.seed,
+            time_limit=spec.time_limit,
+            backend=spec.backend,
         )
         return _heuristic_fields(result.best_fitness)
     if name == "tabu":
         result = tabu_treewidth(
-            graph, seed=spec.seed, time_limit=spec.time_limit
+            graph,
+            seed=spec.seed,
+            time_limit=spec.time_limit,
+            backend=spec.backend,
         )
         return _heuristic_fields(result.best_fitness)
     if name == "ga":
@@ -161,6 +176,8 @@ def _run_tw_algorithm(name, graph, spec) -> tuple[str | int, dict]:
             parameters=spec.ga_parameters,
             seed=spec.seed,
             time_limit=spec.time_limit,
+            backend=spec.backend,
+            jobs=spec.jobs,
         )
         return _heuristic_fields(result.best_fitness)
     return _heuristic_fields(
@@ -183,19 +200,29 @@ def _run_ghw_algorithm(name, hypergraph, spec) -> tuple[str | int, dict]:
         return _exact_fields(result)
     if name == "sa":
         result = sa_ghw(
-            hypergraph, seed=spec.seed, time_limit=spec.time_limit
+            hypergraph,
+            seed=spec.seed,
+            time_limit=spec.time_limit,
+            backend=spec.backend,
         )
         return _heuristic_fields(result.best_fitness)
     if name == "tabu":
         result = tabu_ghw(
-            hypergraph, seed=spec.seed, time_limit=spec.time_limit
+            hypergraph,
+            seed=spec.seed,
+            time_limit=spec.time_limit,
+            backend=spec.backend,
         )
         return _heuristic_fields(result.best_fitness)
     if name == "saiga":
         from repro.genetic.saiga import saiga_ghw
 
         result = saiga_ghw(
-            hypergraph, seed=spec.seed, time_limit=spec.time_limit
+            hypergraph,
+            seed=spec.seed,
+            time_limit=spec.time_limit,
+            backend=spec.backend,
+            jobs=spec.jobs,
         )
         return _heuristic_fields(result.best_fitness)
     from repro.genetic.ga_ghw import ga_ghw
@@ -205,6 +232,8 @@ def _run_ghw_algorithm(name, hypergraph, spec) -> tuple[str | int, dict]:
         parameters=spec.ga_parameters,
         seed=spec.seed,
         time_limit=spec.time_limit,
+        backend=spec.backend,
+        jobs=spec.jobs,
     )
     return _heuristic_fields(result.best_fitness)
 
@@ -248,7 +277,11 @@ def run_experiment(
                         solver=algorithm,
                         measure=spec.measure,
                         elapsed_s=elapsed,
-                        meta={"seed": spec.seed},
+                        meta={
+                            "seed": spec.seed,
+                            "backend": spec.backend,
+                            "jobs": spec.jobs,
+                        },
                         **fields,
                     )
                 )

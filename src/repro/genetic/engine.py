@@ -29,6 +29,7 @@ from repro.obs.budget import Budget
 
 Permutation = list[Vertex]
 Evaluator = Callable[[Sequence[Vertex]], int]
+PopulationEvaluator = Callable[[Sequence[Sequence[Vertex]]], list[int]]
 
 
 @dataclass
@@ -100,6 +101,7 @@ def run_ga(
     seeds: Sequence[Sequence[Vertex]] = (),
     time_limit: float | None = None,
     target: int | None = None,
+    batch_evaluate: PopulationEvaluator | None = None,
 ) -> GAResult:
     """Run the Figure 6.1 loop and return the best ordering found.
 
@@ -119,10 +121,20 @@ def run_ga(
         Optional wall-clock cutoff checked once per generation.
     target:
         Optional known optimum; the run stops as soon as it is reached.
+    batch_evaluate:
+        Optional whole-population evaluator (e.g. a
+        :class:`~repro.kernels.parallel.ParallelEvaluator`); when given
+        it replaces the per-individual ``evaluate`` loop each generation.
     """
     parameters = parameters.validated()
     crossover: CrossoverOperator = get_crossover(parameters.crossover)
     mutation: MutationOperator = get_mutation(parameters.mutation)
+
+    def evaluate_population(population: list[Permutation]) -> list[int]:
+        if batch_evaluate is not None:
+            return list(batch_evaluate(population))
+        return [evaluate(individual) for individual in population]
+
     budget = Budget(time_limit=time_limit)
     ins = obs.current()
     metrics = ins.metrics
@@ -140,7 +152,7 @@ def run_ga(
             population = _initial_population(
                 elements, parameters.population_size, rng, seeds
             )
-            fitnesses = [evaluate(individual) for individual in population]
+            fitnesses = evaluate_population(population)
         evaluations = len(population)
         evaluations_total.inc(evaluations)
         champion, champion_fitness = best_individual(population, fitnesses)
@@ -178,7 +190,7 @@ def run_ga(
                     if rng.random() < parameters.mutation_rate:
                         population[i] = mutation(population[i], rng)
 
-                fitnesses = [evaluate(individual) for individual in population]
+                fitnesses = evaluate_population(population)
                 evaluations += len(population)
                 generations_total.inc()
                 evaluations_total.inc(len(population))

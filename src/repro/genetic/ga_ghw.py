@@ -53,8 +53,18 @@ def ga_ghw(
     seed_heuristics: bool = True,
     time_limit: float | None = None,
     target: int | None = None,
+    backend: str = "python",
+    jobs: int = 1,
 ) -> GAResult:
-    """Run GA-ghw on ``hypergraph``; best fitness is a ghw upper bound."""
+    """Run GA-ghw on ``hypergraph``; best fitness is a ghw upper bound.
+
+    ``backend="bitset"`` evaluates fitness on the
+    :mod:`repro.kernels` bitmask kernel with the shared cover cache
+    (deterministic greedy tie-breaks instead of the thesis's randomised
+    ones); ``jobs > 1`` additionally fans each population out over a
+    process pool. The default ``("python", 1)`` is the seed behaviour,
+    bit-identical to earlier releases.
+    """
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     parameters = parameters or GAParameters()
 
@@ -75,15 +85,47 @@ def ga_ghw(
             min_degree_ordering(primal, rng),
         ]
 
-    return run_ga(
-        vertices,
-        make_ghw_evaluator(hypergraph, rng=rng),
-        parameters,
-        rng,
-        seeds=seeds,
-        time_limit=time_limit,
-        target=target,
+    evaluate, batch_evaluate, closer = _make_evaluators(
+        hypergraph, backend, jobs, rng
     )
+    try:
+        return run_ga(
+            vertices,
+            evaluate,
+            parameters,
+            rng,
+            seeds=seeds,
+            time_limit=time_limit,
+            target=target,
+            batch_evaluate=batch_evaluate,
+        )
+    finally:
+        if closer is not None:
+            closer()
+
+
+def _make_evaluators(
+    hypergraph: Hypergraph,
+    backend: str,
+    jobs: int,
+    rng: random.Random,
+):
+    """(per-individual, per-population, close) evaluators for a backend."""
+    from repro.kernels.evaluators import check_backend
+
+    check_backend(backend)
+    if jobs > 1:
+        from repro.kernels.parallel import ParallelEvaluator
+
+        evaluator = ParallelEvaluator(
+            hypergraph, measure="ghw", jobs=jobs, backend=backend
+        )
+        return evaluator, evaluator.evaluate_population, evaluator.close
+    if backend == "bitset":
+        from repro.kernels.evaluators import make_bit_ghw_evaluator
+
+        return make_bit_ghw_evaluator(hypergraph), None, None
+    return make_ghw_evaluator(hypergraph, rng=rng), None, None
 
 
 def ga_ghw_upper_bound(

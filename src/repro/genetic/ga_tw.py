@@ -13,7 +13,6 @@ import random
 from collections.abc import Sequence
 
 from repro.bounds.upper import min_degree_ordering, min_fill_ordering
-from repro.decompositions.elimination import ordering_width
 from repro.genetic.engine import GAParameters, GAResult, run_ga
 from repro.hypergraphs.graph import Graph, Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
@@ -26,6 +25,8 @@ def ga_treewidth(
     seed_heuristics: bool = True,
     time_limit: float | None = None,
     target: int | None = None,
+    backend: str = "python",
+    jobs: int = 1,
 ) -> GAResult:
     """Run GA-tw on ``graph`` (a hypergraph is replaced by its primal graph).
 
@@ -43,6 +44,10 @@ def ga_treewidth(
         population (off reproduces the thesis's purely random start).
     time_limit, target:
         Optional early-stop conditions forwarded to the engine.
+    backend, jobs:
+        ``backend="bitset"`` evaluates widths on the bitmask kernel
+        (identical fitness values); ``jobs > 1`` fans each population
+        out over a process pool.
     """
     if isinstance(graph, Hypergraph):
         graph = graph.primal_graph()
@@ -64,15 +69,35 @@ def ga_treewidth(
     if seed_heuristics:
         seeds = [min_fill_ordering(graph, rng), min_degree_ordering(graph, rng)]
 
-    return run_ga(
-        vertices,
-        lambda ordering: ordering_width(graph, list(ordering)),
-        parameters,
-        rng,
-        seeds=seeds,
-        time_limit=time_limit,
-        target=target,
-    )
+    from repro.kernels.evaluators import make_tw_evaluator
+
+    batch_evaluate = None
+    closer = None
+    if jobs > 1:
+        from repro.kernels.parallel import ParallelEvaluator
+
+        evaluator = ParallelEvaluator(
+            graph, measure="tw", jobs=jobs, backend=backend
+        )
+        evaluate = evaluator
+        batch_evaluate = evaluator.evaluate_population
+        closer = evaluator.close
+    else:
+        evaluate = make_tw_evaluator(graph, backend=backend)
+    try:
+        return run_ga(
+            vertices,
+            evaluate,
+            parameters,
+            rng,
+            seeds=seeds,
+            time_limit=time_limit,
+            target=target,
+            batch_evaluate=batch_evaluate,
+        )
+    finally:
+        if closer is not None:
+            closer()
 
 
 def ga_treewidth_upper_bound(

@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.genetic.crossover import CROSSOVER_OPERATORS, get_crossover
 from repro.genetic.engine import GAParameters, GAResult
-from repro.genetic.ga_ghw import make_ghw_evaluator
 from repro.genetic.mutation import MUTATION_OPERATORS, get_mutation
 from repro.genetic.selection import best_individual, tournament_selection
 from repro.hypergraphs.graph import Vertex
@@ -145,8 +144,16 @@ def saiga_ghw(
     seed: int | random.Random = 0,
     time_limit: float | None = None,
     target: int | None = None,
+    backend: str = "python",
+    jobs: int = 1,
 ) -> SAIGAResult:
-    """Run SAIGA-ghw; the best fitness found is a ghw upper bound."""
+    """Run SAIGA-ghw; the best fitness found is a ghw upper bound.
+
+    ``backend="bitset"`` evaluates island populations on the
+    :mod:`repro.kernels` bitmask kernel with the shared cover cache;
+    ``jobs > 1`` fans each island's population evaluation out over a
+    process pool. Defaults reproduce the seed behaviour exactly.
+    """
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     budget = Budget(time_limit=time_limit)
     ins = obs.current()
@@ -155,7 +162,6 @@ def saiga_ghw(
     generations_total = metrics.counter("generations", solver="saiga")
     evaluations_total = metrics.counter("evaluations", solver="saiga")
     migrations_total = metrics.counter("migrations", solver="saiga")
-    evaluate = make_ghw_evaluator(hypergraph, rng=rng)
     vertices = sorted(hypergraph.vertices(), key=repr)
 
     if len(vertices) <= 1 or hypergraph.num_edges() == 0:
@@ -168,6 +174,17 @@ def saiga_ghw(
             history=[fitness],
         )
 
+    from repro.genetic.ga_ghw import _make_evaluators
+
+    evaluate, batch_evaluate, closer = _make_evaluators(
+        hypergraph, backend, jobs, rng
+    )
+
+    def evaluate_population(population: list[Permutation]) -> list[int]:
+        if batch_evaluate is not None:
+            return list(batch_evaluate(population))
+        return [evaluate(individual) for individual in population]
+
     def random_population() -> list[Permutation]:
         population = []
         for _ in range(island_population):
@@ -176,6 +193,53 @@ def saiga_ghw(
             population.append(individual)
         return population
 
+    try:
+        return _saiga_loop(
+            hypergraph=hypergraph,
+            islands=islands,
+            island_population=island_population,
+            epochs=epochs,
+            epoch_generations=epoch_generations,
+            rng=rng,
+            budget=budget,
+            target=target,
+            ins=ins,
+            metrics=metrics,
+            counters=(
+                epochs_total,
+                generations_total,
+                evaluations_total,
+                migrations_total,
+            ),
+            evaluate_population=evaluate_population,
+            random_population=random_population,
+        )
+    finally:
+        if closer is not None:
+            closer()
+
+
+def _saiga_loop(
+    *,
+    hypergraph: Hypergraph,
+    islands: int,
+    island_population: int,
+    epochs: int,
+    epoch_generations: int,
+    rng: random.Random,
+    budget: Budget,
+    target: int | None,
+    ins,
+    metrics,
+    counters,
+    evaluate_population,
+    random_population,
+) -> SAIGAResult:
+    """The Figure 7.3 epoch/migration loop, split out of :func:`saiga_ghw`
+    so the evaluator's ``try/finally`` cleanup wraps the whole run."""
+    epochs_total, generations_total, evaluations_total, migrations_total = (
+        counters
+    )
     with ins.tracer.span(
         "saiga", islands=max(1, islands), island_population=island_population
     ):
@@ -184,7 +248,7 @@ def saiga_ghw(
         with ins.tracer.span("init_islands"):
             for _ in range(max(1, islands)):
                 population = random_population()
-                fitnesses = [evaluate(individual) for individual in population]
+                fitnesses = evaluate_population(population)
                 evaluations += len(population)
                 ring.append(
                     _Island(
@@ -240,9 +304,7 @@ def saiga_ghw(
                             island.population[i] = mutate(
                                 island.population[i], rng
                             )
-                    island.fitnesses = [
-                        evaluate(individual) for individual in island.population
-                    ]
+                    island.fitnesses = evaluate_population(island.population)
                     evaluations += island_population
                     evaluations_total.inc(island_population)
                     generations += 1

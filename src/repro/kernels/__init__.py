@@ -1,0 +1,67 @@
+"""repro.kernels — the bitset compute backend.
+
+Everything the heuristics spend their time on — elimination-ordering
+evaluation and per-bag set covers — reimplemented over interned bitmask
+representations, with a process-wide cover cache and opt-in process-pool
+population evaluation:
+
+* :class:`BitGraph` / :class:`BitHypergraph` — vertices/edges interned
+  to indices, bags and neighbourhoods as Python-int bitmasks,
+* :func:`bit_ordering_width` / :func:`bit_ordering_ghw` — incremental
+  bucket elimination over masks,
+* :class:`CoverCache` — the shared, instrumented bag -> cover LRU
+  (see ``docs/performance.md`` for its semantics),
+* :class:`ParallelEvaluator` — opt-in ``--jobs N`` process-pool fitness
+  evaluation for GA/SAIGA populations.
+
+The pure-Python implementations remain the reference semantics; the
+property suite holds both backends to identical widths.
+"""
+
+from repro.kernels.bithypergraph import BitGraph, BitHypergraph, bits_of
+from repro.kernels.cache import (
+    CoverCache,
+    configure_cover_cache,
+    cover_cache,
+    edges_token,
+    family_token,
+)
+from repro.kernels.cover import cover_mask, exact_cover_mask, greedy_cover_mask
+from repro.kernels.elimination import (
+    bit_elimination_bags,
+    bit_ordering_ghw,
+    bit_ordering_width,
+)
+from repro.kernels.evaluators import (
+    BACKENDS,
+    check_backend,
+    make_bit_ghw_evaluator,
+    make_bit_tw_evaluator,
+    make_ghw_evaluator_backend,
+    make_tw_evaluator,
+)
+from repro.kernels.parallel import ParallelEvaluator
+
+__all__ = [
+    "BACKENDS",
+    "BitGraph",
+    "BitHypergraph",
+    "CoverCache",
+    "ParallelEvaluator",
+    "bit_elimination_bags",
+    "bit_ordering_ghw",
+    "bit_ordering_width",
+    "bits_of",
+    "check_backend",
+    "configure_cover_cache",
+    "cover_cache",
+    "cover_mask",
+    "edges_token",
+    "exact_cover_mask",
+    "family_token",
+    "greedy_cover_mask",
+    "make_bit_ghw_evaluator",
+    "make_bit_tw_evaluator",
+    "make_ghw_evaluator_backend",
+    "make_tw_evaluator",
+]

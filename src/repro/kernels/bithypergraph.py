@@ -1,0 +1,164 @@
+"""Bitset representations of graphs and hypergraphs.
+
+The pure-Python :class:`~repro.hypergraphs.hypergraph.Hypergraph` and
+:class:`~repro.hypergraphs.graph.Graph` keep vertex sets as ``set``
+objects, which makes every elimination-ordering evaluation allocate and
+hash thousands of small sets. The classes here intern vertices and edges
+to dense indices once, and from then on every bag, neighbourhood and
+hyperedge is a single Python ``int`` used as a bitmask: union is ``|``,
+intersection ``&``, cardinality ``int.bit_count()`` — all C-speed
+operations on machine words, following the bitmask designs of the
+Gottlob–Samer backtracking solver and the HyperBench tooling.
+
+Interning is deterministic (vertices sorted by ``repr``, edges in
+insertion order), so the mapping between a structure and its bitset view
+is reproducible across processes — which the parallel evaluator relies
+on — and round-trips exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.hypergraphs.graph import Graph, Vertex
+from repro.hypergraphs.hypergraph import EdgeName, Hypergraph
+from repro.kernels.cache import family_token
+
+
+def bits_of(mask: int) -> list[int]:
+    """The set bit positions of ``mask``, ascending."""
+    out: list[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+class BitGraph:
+    """A graph interned to indices with bitmask adjacency."""
+
+    def __init__(self, vertices: list[Vertex], nbr_masks: list[int]) -> None:
+        self.vertices = vertices
+        self.index = {vertex: i for i, vertex in enumerate(vertices)}
+        self.nbr_masks = nbr_masks
+        self.full_mask = (1 << len(vertices)) - 1
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "BitGraph":
+        vertices = sorted(graph.vertices(), key=repr)
+        index = {vertex: i for i, vertex in enumerate(vertices)}
+        nbr_masks = [0] * len(vertices)
+        for vertex in vertices:
+            mask = 0
+            for neighbour in graph.neighbours(vertex):
+                mask |= 1 << index[neighbour]
+            nbr_masks[index[vertex]] = mask
+        return cls(vertices, nbr_masks)
+
+    def to_graph(self) -> Graph:
+        graph = Graph(vertices=self.vertices)
+        for i, mask in enumerate(self.nbr_masks):
+            for j in bits_of(mask):
+                if j > i:
+                    graph.add_edge(self.vertices[i], self.vertices[j])
+        return graph
+
+    def mask_of(self, vertices: Iterable[Vertex]) -> int:
+        mask = 0
+        for vertex in vertices:
+            mask |= 1 << self.index[vertex]
+        return mask
+
+    def vertices_of(self, mask: int) -> set[Vertex]:
+        return {self.vertices[i] for i in bits_of(mask)}
+
+    def order_of(self, ordering: Iterable[Vertex]) -> list[int]:
+        """Translate a vertex ordering to interned indices."""
+        try:
+            return [self.index[vertex] for vertex in ordering]
+        except KeyError as exc:
+            raise ValueError(
+                "ordering is not a permutation of the vertices: "
+                f"unknown vertex {exc.args[0]!r}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"BitGraph(|V|={len(self.vertices)})"
+
+
+class BitHypergraph(BitGraph):
+    """A hypergraph interned to indices: edges and bags are bitmasks.
+
+    On top of the primal adjacency masks of :class:`BitGraph` it keeps
+
+    * ``edge_names[i]`` / ``edge_masks[i]`` — the named hyperedges,
+    * ``tie_rank[i]`` — the rank of edge ``i`` in ``repr``-sorted name
+      order, so greedy tie-breaking matches the pure-Python
+      :func:`~repro.setcover.greedy.greedy_set_cover` exactly,
+    * ``incidence_masks[v]`` — per vertex, a bitmask over *edge indices*
+      of the hyperedges containing it, so cover search only ever scans
+      edges that can still contribute, and
+    * ``token`` — the shared cover-cache family token for this edge
+      family (see :mod:`repro.kernels.cache`).
+    """
+
+    def __init__(
+        self,
+        vertices: list[Vertex],
+        nbr_masks: list[int],
+        edge_names: list[EdgeName],
+        edge_masks: list[int],
+    ) -> None:
+        super().__init__(vertices, nbr_masks)
+        self.edge_names = edge_names
+        self.edge_masks = edge_masks
+        ranked = sorted(range(len(edge_names)), key=lambda i: repr(edge_names[i]))
+        self.tie_rank = [0] * len(edge_names)
+        for rank, i in enumerate(ranked):
+            self.tie_rank[i] = rank
+        self.incidence_masks = [0] * len(vertices)
+        for i, mask in enumerate(edge_masks):
+            bit = 1 << i
+            for v in bits_of(mask):
+                self.incidence_masks[v] |= bit
+        self.token = family_token(
+            (tuple(vertices), tuple(edge_names), tuple(edge_masks))
+        )
+
+    @classmethod
+    def from_hypergraph(cls, hypergraph: Hypergraph) -> "BitHypergraph":
+        vertices = sorted(hypergraph.vertices(), key=repr)
+        index = {vertex: i for i, vertex in enumerate(vertices)}
+        edge_names: list[EdgeName] = []
+        edge_masks: list[int] = []
+        nbr_masks = [0] * len(vertices)
+        for name, edge in hypergraph.edges().items():
+            mask = 0
+            for vertex in edge:
+                mask |= 1 << index[vertex]
+            edge_names.append(name)
+            edge_masks.append(mask)
+            for i in bits_of(mask):
+                nbr_masks[i] |= mask
+        for i in range(len(vertices)):
+            nbr_masks[i] &= ~(1 << i)
+        return cls(vertices, nbr_masks, edge_names, edge_masks)
+
+    def to_hypergraph(self) -> Hypergraph:
+        return Hypergraph(
+            edges={
+                name: self.vertices_of(mask)
+                for name, mask in zip(self.edge_names, self.edge_masks)
+            },
+            vertices=self.vertices,
+        )
+
+    def names_of(self, edge_indices: Iterable[int]) -> list[EdgeName]:
+        return [self.edge_names[i] for i in edge_indices]
+
+    def __repr__(self) -> str:
+        return (
+            f"BitHypergraph(|V|={len(self.vertices)}, "
+            f"|H|={len(self.edge_masks)})"
+        )

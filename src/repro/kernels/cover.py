@@ -1,0 +1,175 @@
+"""Set covers over bitmasks: greedy (Figure 7.2) and exact (B&B).
+
+Mask-native re-implementations of :mod:`repro.setcover.greedy` and
+:mod:`repro.setcover.exact` used by the bitset elimination kernel. Both
+are bit-for-bit compatible with the pure-Python reference:
+
+* the greedy cover breaks ties among maximum-gain edges toward the edge
+  whose *name* is smallest under ``repr`` — exactly the deterministic
+  (``rng=None``) branch of :func:`~repro.setcover.greedy.greedy_set_cover`
+  — so greedy cover widths agree between backends, and
+* the exact cover is optimal, so its size agrees with
+  :class:`~repro.setcover.exact.ExactSetCoverSolver` by definition.
+
+Unlike the reference, neither routine ever scans the full edge family:
+the candidate set starts from the per-vertex incidence masks (only edges
+meeting the bag) and shrinks as edges stop contributing. Results are
+cached in the shared :mod:`repro.kernels.cache` keyed by the bag
+bitmask, which is what makes GA-scale evaluation cheap: across a
+population of orderings the same bags recur constantly.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.kernels.bithypergraph import BitHypergraph, bits_of
+from repro.kernels.cache import CoverCache
+from repro.setcover.greedy import UncoverableError
+
+
+def _uncoverable(bh: BitHypergraph, uncovered: int) -> UncoverableError:
+    missing = sorted(repr(v) for v in bh.vertices_of(uncovered))
+    return UncoverableError(f"vertices {missing} appear in no hyperedge")
+
+
+def _candidate_edges(bh: BitHypergraph, bag_mask: int) -> int:
+    """Bitmask over edge indices of all edges meeting the bag."""
+    candidates = 0
+    incidence = bh.incidence_masks
+    probe = bag_mask
+    while probe:
+        low = probe & -probe
+        candidates |= incidence[low.bit_length() - 1]
+        probe ^= low
+    return candidates
+
+
+def greedy_cover_mask(bh: BitHypergraph, bag_mask: int) -> tuple[int, ...]:
+    """Greedy cover of ``bag_mask``; returns chosen edge indices."""
+    uncovered = bag_mask
+    edge_masks = bh.edge_masks
+    tie_rank = bh.tie_rank
+    candidates = bits_of(_candidate_edges(bh, bag_mask))
+    chosen: list[int] = []
+    while uncovered:
+        best_gain = 0
+        best_rank = 0
+        best_index = -1
+        for i in candidates:
+            gain = (edge_masks[i] & uncovered).bit_count()
+            if gain > best_gain:
+                best_gain = gain
+                best_rank = tie_rank[i]
+                best_index = i
+            elif gain == best_gain and gain and tie_rank[i] < best_rank:
+                best_rank = tie_rank[i]
+                best_index = i
+        if best_index < 0:
+            raise _uncoverable(bh, uncovered)
+        chosen.append(best_index)
+        uncovered &= ~edge_masks[best_index]
+        if uncovered:
+            candidates = [i for i in candidates if edge_masks[i] & uncovered]
+    return tuple(chosen)
+
+
+def exact_cover_mask(bh: BitHypergraph, bag_mask: int) -> tuple[int, ...]:
+    """An optimal cover of ``bag_mask``; returns chosen edge indices."""
+    if not bag_mask:
+        return ()
+    # Restrict to the bag and drop dominated (subset) edges.
+    restricted: list[tuple[int, int]] = []  # (edge index, restricted mask)
+    coverable = 0
+    scan = _candidate_edges(bh, bag_mask)
+    while scan:
+        low = scan & -scan
+        scan ^= low
+        i = low.bit_length() - 1
+        useful = bh.edge_masks[i] & bag_mask
+        restricted.append((i, useful))
+        coverable |= useful
+    if bag_mask & ~coverable:
+        raise _uncoverable(bh, bag_mask & ~coverable)
+    restricted.sort(
+        key=lambda item: (-item[1].bit_count(), bh.tie_rank[item[0]])
+    )
+    kept: list[tuple[int, int]] = []
+    for i, mask in restricted:
+        if not any(mask & ~other == 0 for _, other in kept):
+            kept.append((i, mask))
+
+    best = list(greedy_cover_mask(bh, bag_mask))
+    budget = len(best)
+    found = _search_mask(bh, bag_mask, kept, [], budget)
+    if found is not None:
+        best = found
+    return tuple(best)
+
+
+def _search_mask(
+    bh: BitHypergraph,
+    uncovered: int,
+    edges: list[tuple[int, int]],
+    chosen: list[int],
+    budget: int,
+) -> list[int] | None:
+    """Find a cover strictly smaller than ``budget`` if one exists."""
+    if not uncovered:
+        return list(chosen) if len(chosen) < budget else None
+    max_gain = max((mask & uncovered).bit_count() for _, mask in edges)
+    if max_gain == 0:
+        return None
+    if len(chosen) + ceil(uncovered.bit_count() / max_gain) >= budget:
+        return None
+    # Branch on the uncovered vertex contained in the fewest edges.
+    pivot_bit = -1
+    pivot_count = len(edges) + 1
+    probe = uncovered
+    while probe:
+        low = probe & -probe
+        count = sum(1 for _, mask in edges if mask & low)
+        if count < pivot_count:
+            pivot_count = count
+            pivot_bit = low
+        probe ^= low
+    candidates = sorted(
+        (item for item in edges if item[1] & pivot_bit),
+        key=lambda item: (
+            -(item[1] & uncovered).bit_count(),
+            bh.tie_rank[item[0]],
+        ),
+    )
+    best: list[int] | None = None
+    for index, mask in candidates:
+        chosen.append(index)
+        found = _search_mask(bh, uncovered & ~mask, edges, chosen, budget)
+        chosen.pop()
+        if found is not None:
+            best = found
+            budget = len(found)
+            if budget <= len(chosen) + 1:
+                break
+    return best
+
+
+def cover_mask(
+    bh: BitHypergraph,
+    bag_mask: int,
+    mode: str,
+    cache: CoverCache | None = None,
+) -> tuple[int, ...]:
+    """Cover ``bag_mask`` in ``mode`` (``"greedy"``/``"exact"``), cached."""
+    if cache is not None:
+        cached = cache.get(bh.token, mode, bag_mask)
+        if cached is not None:
+            return cached
+    if mode == "greedy":
+        cover = greedy_cover_mask(bh, bag_mask)
+    elif mode == "exact":
+        cover = exact_cover_mask(bh, bag_mask)
+    else:
+        raise ValueError(f"unknown cover mode {mode!r}")
+    if cache is not None:
+        cache.put(bh.token, mode, bag_mask, cover)
+    return cover

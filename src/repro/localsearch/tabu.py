@@ -169,11 +169,16 @@ def tabu_treewidth(
     parameters: TabuParameters | None = None,
     seed: int = 0,
     time_limit: float | None = None,
+    backend: str = "python",
 ) -> TabuResult:
-    """Tabu-search upper bound on the treewidth of ``graph``."""
+    """Tabu-search upper bound on the treewidth of ``graph``.
+
+    ``backend="bitset"`` evaluates widths on the :mod:`repro.kernels`
+    bitmask kernel (identical values, much faster on large graphs).
+    """
     from repro.bounds.upper import min_fill_ordering
-    from repro.decompositions.elimination import ordering_width
     from repro.hypergraphs.hypergraph import Hypergraph
+    from repro.kernels.evaluators import make_tw_evaluator
 
     if isinstance(graph, Hypergraph):
         graph = graph.primal_graph()
@@ -183,7 +188,7 @@ def tabu_treewidth(
         return TabuResult(0, vertices, 0, 0, [0])
     return tabu_search(
         vertices,
-        lambda ordering: ordering_width(graph, list(ordering)),
+        make_tw_evaluator(graph, backend=backend),
         parameters=parameters,
         seed=rng,
         initial=min_fill_ordering(graph, rng),
@@ -196,10 +201,16 @@ def tabu_ghw(
     parameters: TabuParameters | None = None,
     seed: int = 0,
     time_limit: float | None = None,
+    backend: str = "python",
 ) -> TabuResult:
-    """Tabu-search upper bound on ``ghw(hypergraph)``."""
+    """Tabu-search upper bound on ``ghw(hypergraph)``.
+
+    ``backend="bitset"`` evaluates greedy cover widths on the bitmask
+    kernel with the shared cover cache (deterministic tie-breaks instead
+    of the thesis's randomised ones).
+    """
     from repro.bounds.upper import min_fill_ordering
-    from repro.genetic.ga_ghw import make_ghw_evaluator
+    from repro.kernels.evaluators import make_ghw_evaluator_backend
 
     rng = random.Random(seed)
     vertices = sorted(hypergraph.vertices(), key=repr)
@@ -209,7 +220,7 @@ def tabu_ghw(
     primal = hypergraph.primal_graph()
     return tabu_search(
         vertices,
-        make_ghw_evaluator(hypergraph, rng=rng),
+        make_ghw_evaluator_backend(hypergraph, backend=backend, rng=rng),
         parameters=parameters,
         seed=rng,
         initial=min_fill_ordering(primal, rng),

@@ -12,8 +12,12 @@ branch-and-bound solver with the classic ingredients:
 * lower bound ``ceil(|uncovered| / max_gain)`` for pruning,
 * dominance preprocessing (edges that are subsets of other edges are
   dropped), and
-* memoisation keyed on the frozen uncovered set, which pays off across the
-  thousands of highly-similar bags a BB-ghw run evaluates.
+* memoisation in the process-wide cover cache
+  (:mod:`repro.kernels.cache`) keyed on the frozen uncovered set, which
+  pays off across the thousands of highly-similar bags a BB-ghw run
+  evaluates — and across *solvers*: every solver built over the same
+  edge family (all candidates of a run, and the bitset kernel's exact
+  covers of the same hypergraph) shares one memo table.
 
 For the bag sizes arising from elimination orderings (tens of vertices)
 this is exact and fast.
@@ -27,6 +31,7 @@ from math import ceil
 from repro import obs
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import EdgeName
+from repro.kernels.cache import cover_cache, edges_token
 from repro.setcover.greedy import UncoverableError, greedy_set_cover
 
 
@@ -51,14 +56,17 @@ def _prune_dominated(
 class ExactSetCoverSolver:
     """Reusable exact solver; caches optimal covers across calls.
 
-    A single solver instance should be reused for all bags of one
-    hypergraph: the memo table is keyed by the uncovered vertex set, and
-    elimination bags overlap heavily.
+    Optimal covers are memoised in the process-wide
+    :func:`~repro.kernels.cache.cover_cache` keyed by this solver's edge
+    family and the uncovered vertex set, so the memo outlives any single
+    solver: every candidate ordering of a run — and any other solver
+    built over the same hyperedges — reuses earlier results.
     """
 
     def __init__(self, edges: Mapping[EdgeName, frozenset[Vertex]]) -> None:
         self._edges = {name: frozenset(edge) for name, edge in edges.items()}
-        self._memo: dict[frozenset[Vertex], tuple[EdgeName, ...]] = {}
+        self._token = edges_token(self._edges)
+        self._cache = cover_cache()
         self._nodes = 0
 
     def cover(self, target: Iterable[Vertex]) -> list[EdgeName]:
@@ -68,7 +76,7 @@ class ExactSetCoverSolver:
             return []
         metrics = obs.current().metrics
         key = frozenset(universe)
-        cached = self._memo.get(key)
+        cached = self._cache.get(self._token, "exact", key)
         if cached is not None:
             if metrics.enabled:
                 metrics.counter("setcover_cache", event="hit").inc()
@@ -92,7 +100,7 @@ class ExactSetCoverSolver:
             best_tuple = result
         if metrics.enabled:
             metrics.counter("setcover_nodes").inc(self._nodes - nodes_before)
-        self._memo[key] = best_tuple
+        self._cache.put(self._token, "exact", key, best_tuple)
         return list(best_tuple)
 
     def cover_size(self, target: Iterable[Vertex]) -> int:

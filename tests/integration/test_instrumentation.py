@@ -23,7 +23,11 @@ from repro.search.components import treewidth_by_components
 class TestSolverCounters:
     def test_bb_ghw_emits_prune_and_cache_counters(self):
         """On the 3x3 grid both PR1 and PR2 fire, and the exact set-cover
-        memo sees both hits and misses."""
+        cache sees both hits and misses (cold cache: the cover cache is
+        process-wide, so earlier tests may have warmed this family)."""
+        from repro.kernels.cache import cover_cache
+
+        cover_cache().clear()
         with obs.instrument() as ins:
             result = branch_and_bound_ghw(grid2d(3, 3))
         snapshot = ins.metrics.snapshot()
@@ -163,7 +167,10 @@ class TestCliTelemetry:
         assert [r.solver for r in reports] == ["bb", "sa"]
         for report in reports:
             validate_report(report.to_dict())
-        assert reports[0].meta == {"seed": 0}
+        assert reports[0].meta["seed"] == 0
+        assert reports[0].meta["backend"] == "python"
+        assert reports[0].meta["jobs"] == 1
+        assert "hits" in reports[0].meta["cover_cache"]
 
     def test_unwritable_telemetry_path_is_a_clean_error(self, tmp_path, capsys):
         code = main(
