@@ -10,6 +10,11 @@ ghw upper bound of a hypergraph file with the genetic algorithm::
 
     repro-decompose --file instance.hg --measure ghw --algorithm ga
 
+Race the anytime portfolio (shared bounds, early stop on lb == ub)::
+
+    repro-decompose portfolio --instance cycle_6 --measure ghw \\
+        --strategies bb,ga,sa,tabu --time-limit 10
+
 The tool prints the result line the thesis tables use: instance, |V|,
 |E| or |H|, lb, ub, value, nodes, time.
 """
@@ -127,9 +132,225 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_portfolio_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-decompose portfolio",
+        description=(
+            "Race several strategies on one instance with shared bounds, "
+            "a deadline, and checkpoint/resume."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--instance",
+        help="named generated instance (queen5_5, myciel4, adder_10, ...)",
+    )
+    source.add_argument(
+        "--file",
+        help="path to a DIMACS .col graph, a HyperBench .hg file, or a "
+        "hypergraph edge list",
+    )
+    parser.add_argument(
+        "--measure", choices=("tw", "ghw"), default="tw",
+        help="width measure the portfolio races on",
+    )
+    parser.add_argument(
+        "--strategies",
+        default=None,
+        metavar="KINDS",
+        help=(
+            "comma-separated strategy kinds (bb, astar, ga, saiga, sa, "
+            "tabu); repeats allowed and get distinct seeds. Default: "
+            "bb,ga,sa,tabu"
+        ),
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, help="shared deadline in seconds"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("process", "inline"),
+        default="process",
+        help="worker processes (true race) or sequential time slices",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=("python", "bitset"),
+        default="python",
+        help="fitness kernel for the heuristic strategies",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="population-evaluation processes per GA/SAIGA worker",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="periodically snapshot worker state here (enables --resume)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="minimum seconds between checkpoint writes per worker",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a previous race from --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--cover-cache-size",
+        type=int,
+        default=None,
+        metavar="M",
+        help="resize the process-wide bag-cover cache to M entries",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the scheduler's metric counters to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the scheduler's span tree to stderr",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="append the portfolio RunReport (nested worker reports) as JSON",
+    )
+    return parser
+
+
+def main_portfolio(argv: list[str]) -> int:
+    """The ``portfolio`` subcommand: race strategies with shared bounds."""
+    from repro.portfolio import (
+        PortfolioSpec,
+        parse_strategies,
+        portfolio_report,
+        resume_portfolio,
+        run_portfolio,
+    )
+
+    args = build_portfolio_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.cover_cache_size is not None:
+        from repro.kernels.cache import configure_cover_cache
+
+        try:
+            configure_cover_cache(args.cover_cache_size)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        loaded = _load(args)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    label = args.instance or args.file
+    if args.measure == "ghw" and not isinstance(loaded, Hypergraph):
+        print("error: ghw needs a hypergraph instance", file=sys.stderr)
+        return 2
+    if isinstance(loaded, Hypergraph):
+        size = f"|V|={loaded.num_vertices()} |H|={loaded.num_edges()}"
+    else:
+        size = f"|V|={loaded.num_vertices()} |E|={loaded.num_edges()}"
+
+    telemetry = args.metrics or args.trace or args.telemetry_out is not None
+    context = obs.instrument() if telemetry else _plain_context()
+    try:
+        with context as ins:
+            if args.resume:
+                result = resume_portfolio(
+                    loaded,
+                    args.checkpoint_dir,
+                    time_limit=args.time_limit,
+                    mode=args.mode,
+                )
+            else:
+                strategies = parse_strategies(
+                    args.strategies or "bb,ga,sa,tabu",
+                    args.measure,
+                    seed=args.seed,
+                )
+                for strategy in strategies:
+                    strategy.backend = args.backend
+                    strategy.jobs = args.jobs
+                spec = PortfolioSpec(
+                    measure=args.measure,
+                    strategies=strategies,
+                    time_limit=args.time_limit,
+                    mode=args.mode,
+                    seed=args.seed,
+                    instance_name=label,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_interval=args.checkpoint_interval,
+                )
+                result = run_portfolio(loaded, spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"{label}  {size}  {result.summary()}")
+    for worker in result.workers:
+        lb = "-" if worker.lower_bound is None else worker.lower_bound
+        ub = "-" if worker.upper_bound is None else worker.upper_bound
+        line = (
+            f"  {worker.name:<10} {worker.status:<12} "
+            f"lb={lb} ub={ub} {worker.elapsed:.2f}s"
+        )
+        if worker.error:
+            line += f"  ({worker.error})"
+        print(line)
+
+    if telemetry:
+        report = portfolio_report(
+            ins,
+            result,
+            instance_name=label,
+            meta={
+                "seed": args.seed,
+                "backend": args.backend,
+                "jobs": args.jobs,
+                "mode": args.mode,
+            },
+        )
+        if args.metrics:
+            print("-- metrics --", file=sys.stderr)
+            print(render_metrics(ins.metrics.snapshot()), file=sys.stderr)
+        if args.trace:
+            print("-- trace --", file=sys.stderr)
+            print(render_spans(ins.tracer.tree()), file=sys.stderr)
+        if args.telemetry_out:
+            try:
+                append_jsonl(args.telemetry_out, report)
+            except OSError as exc:
+                print(f"error: cannot write telemetry: {exc}", file=sys.stderr)
+                return 2
+    return 0
+
+
 def _load(args: argparse.Namespace) -> Graph | Hypergraph:
     if args.instance:
         return registry_instance(args.instance)
+    if args.file.endswith(".hg"):
+        from repro.instances.hyperbench import read_hg
+
+        return read_hg(args.file)
     text = open(args.file).readline()
     if text.startswith(("c", "p")):
         return read_dimacs(args.file)
@@ -302,6 +523,10 @@ def _run_measure(
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "portfolio":
+        return main_portfolio(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)

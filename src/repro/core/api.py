@@ -365,3 +365,51 @@ def decompose(
         ghd = make_complete(ghd, hypergraph)
     ghd.validate(hypergraph)
     return ghd
+
+
+def run_portfolio(
+    instance: Graph | Hypergraph,
+    measure: str = "tw",
+    strategies: str | list | None = None,
+    time_limit: float | None = None,
+    mode: str = "process",
+    seed: int = 0,
+    checkpoint_dir: str | None = None,
+    instance_name: str = "instance",
+):
+    """Race a portfolio of strategies on ``instance`` and fold bounds.
+
+    ``strategies`` is a comma-separated kind list (``"bb,ga,sa,tabu"``),
+    a list of :class:`~repro.portfolio.strategies.StrategySpec`, or
+    ``None`` for the default 4-strategy race. Returns a
+    :class:`~repro.portfolio.results.PortfolioResult`; the race certifies
+    optimality when any worker's lower bound meets any worker's upper
+    bound, even if no single worker certified on its own.
+    """
+    from repro.portfolio import PortfolioSpec, parse_strategies
+    from repro.portfolio import run_portfolio as race
+
+    if isinstance(strategies, str):
+        strategies = parse_strategies(strategies, measure, seed=seed)
+    spec = PortfolioSpec(
+        measure=measure,
+        strategies=list(strategies or []),
+        time_limit=time_limit,
+        mode=mode,
+        seed=seed,
+        instance_name=instance_name,
+        checkpoint_dir=checkpoint_dir,
+    )
+    return race(instance, spec)
+
+
+def resume_portfolio(
+    instance: Graph | Hypergraph,
+    checkpoint_dir: str,
+    time_limit: float | None = None,
+    mode: str | None = None,
+):
+    """Resume a checkpointed portfolio race (see the portfolio docs)."""
+    from repro.portfolio import resume_portfolio as resume
+
+    return resume(instance, checkpoint_dir, time_limit=time_limit, mode=mode)

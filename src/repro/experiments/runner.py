@@ -37,6 +37,9 @@ EXACT_TW = ("astar", "bb")
 EXACT_GHW = ("astar", "bb")
 HEURISTIC_TW = ("ga", "sa", "tabu", "min-fill", "min-degree", "min-width", "mcs")
 HEURISTIC_GHW = ("ga", "saiga", "sa", "tabu")
+#: The anytime racing portfolio (inline mode): certifies when any
+#: worker's lower bound meets any worker's upper bound.
+PORTFOLIO = "portfolio"
 
 
 @dataclass
@@ -68,6 +71,7 @@ class ExperimentSpec:
             if self.measure == "tw"
             else set(EXACT_GHW) | set(HEURISTIC_GHW)
         )
+        known.add(PORTFOLIO)
         unknown = [a for a in self.algorithms if a not in known]
         if unknown:
             raise ValueError(
@@ -139,10 +143,40 @@ def _heuristic_fields(best_fitness: int) -> tuple[int, dict]:
     }
 
 
+def _run_portfolio(instance, spec) -> tuple[str | int, dict]:
+    """One inline-mode race as a table cell; worker reports ride along."""
+    from repro.core.api import run_portfolio
+    from repro.portfolio.results import portfolio_status
+
+    result = run_portfolio(
+        instance,
+        measure=spec.measure,
+        time_limit=spec.time_limit,
+        mode="inline",
+        seed=spec.seed,
+    )
+    if result.optimal:
+        cell: str | int = result.value
+    elif result.upper_bound is not None:
+        lb = "?" if result.lower_bound is None else result.lower_bound
+        cell = f"{lb}*[{result.upper_bound}]"
+    else:
+        cell = "-"
+    return cell, {
+        "status": portfolio_status(result),
+        "value": result.value,
+        "lower_bound": result.lower_bound,
+        "upper_bound": result.upper_bound,
+        "workers": result.worker_reports,
+    }
+
+
 def _run_tw_algorithm(name, graph, spec) -> tuple[str | int, dict]:
     from repro.core.api import treewidth, treewidth_upper_bound
     from repro.localsearch import sa_treewidth, tabu_treewidth
 
+    if name == PORTFOLIO:
+        return _run_portfolio(graph, spec)
     if name in EXACT_TW:
         result = treewidth(
             graph,
@@ -189,6 +223,8 @@ def _run_ghw_algorithm(name, hypergraph, spec) -> tuple[str | int, dict]:
     from repro.core.api import generalized_hypertree_width
     from repro.localsearch import sa_ghw, tabu_ghw
 
+    if name == PORTFOLIO:
+        return _run_portfolio(hypergraph, spec)
     if name in EXACT_GHW:
         result = generalized_hypertree_width(
             hypergraph,

@@ -26,6 +26,7 @@ from repro.genetic.mutation import MutationOperator, get_mutation
 from repro.genetic.selection import best_individual, tournament_selection
 from repro.hypergraphs.graph import Vertex
 from repro.obs.budget import Budget
+from repro.obs.control import SolverControl
 
 Permutation = list[Vertex]
 Evaluator = Callable[[Sequence[Vertex]], int]
@@ -102,6 +103,8 @@ def run_ga(
     time_limit: float | None = None,
     target: int | None = None,
     batch_evaluate: PopulationEvaluator | None = None,
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> GAResult:
     """Run the Figure 6.1 loop and return the best ordering found.
 
@@ -125,6 +128,16 @@ def run_ga(
         Optional whole-population evaluator (e.g. a
         :class:`~repro.kernels.parallel.ParallelEvaluator`); when given
         it replaces the per-individual ``evaluate`` loop each generation.
+    control:
+        Optional portfolio control: the loop stops cooperatively, stops
+        early when the champion reaches the portfolio-wide lower bound,
+        publishes champion improvements, and offers a resume snapshot
+        after every generation.
+    resume_state:
+        A snapshot previously offered through ``control.checkpoint`` (with
+        ``rng_state`` already decoded to a ``random.Random`` state tuple);
+        the run continues from that population and generation instead of
+        initialising a fresh one.
     """
     parameters = parameters.validated()
     crossover: CrossoverOperator = get_crossover(parameters.crossover)
@@ -148,23 +161,56 @@ def run_ga(
         crossover=parameters.crossover,
         mutation=parameters.mutation,
     ):
-        with ins.tracer.span("init_population"):
-            population = _initial_population(
-                elements, parameters.population_size, rng, seeds
-            )
-            fitnesses = evaluate_population(population)
-        evaluations = len(population)
-        evaluations_total.inc(evaluations)
-        champion, champion_fitness = best_individual(population, fitnesses)
-        history = [champion_fitness]
+        if resume_state is None:
+            with ins.tracer.span("init_population"):
+                population = _initial_population(
+                    elements, parameters.population_size, rng, seeds
+                )
+                fitnesses = evaluate_population(population)
+            evaluations = len(population)
+            evaluations_total.inc(evaluations)
+            champion, champion_fitness = best_individual(population, fitnesses)
+            history = [champion_fitness]
+            generation = 0
+        else:
+            if resume_state.get("rng_state") is not None:
+                rng.setstate(resume_state["rng_state"])
+            population = [list(ind) for ind in resume_state["population"]]
+            fitnesses = list(resume_state["fitnesses"])
+            champion = list(resume_state["best_individual"])
+            champion_fitness = int(resume_state["best_fitness"])
+            history = list(resume_state.get("history", [champion_fitness]))
+            generation = int(resume_state.get("generation", 0))
+            evaluations = int(resume_state.get("evaluations", len(population)))
+        if control is not None:
+            control.publish_upper(champion_fitness, champion)
 
-        generation = 0
+        def snapshot() -> dict:
+            return {
+                "best_fitness": champion_fitness,
+                "best_individual": list(champion),
+                "population": [list(ind) for ind in population],
+                "fitnesses": list(fitnesses),
+                "history": list(history),
+                "generation": generation,
+                "evaluations": evaluations,
+                "rng_state": rng.getstate(),
+            }
+
+        if control is not None:
+            control.checkpoint(snapshot())
         with ins.tracer.span("evolve"):
             while generation < parameters.max_iterations:
                 if target is not None and champion_fitness <= target:
                     break
                 if budget.exhausted():
                     break
+                if control is not None:
+                    if control.should_stop():
+                        break
+                    shared_lb = control.shared_lower_bound()
+                    if shared_lb is not None and champion_fitness <= shared_lb:
+                        break
                 generation += 1
                 generation_started = budget.elapsed()
 
@@ -203,7 +249,11 @@ def run_ga(
                 )
                 if generation_fitness < champion_fitness:
                     champion, champion_fitness = generation_best, generation_fitness
+                    if control is not None:
+                        control.publish_upper(champion_fitness, champion)
                 history.append(champion_fitness)
+                if control is not None:
+                    control.checkpoint(snapshot())
 
     if metrics.enabled:
         metrics.gauge("best_fitness", solver="ga").set(champion_fitness)

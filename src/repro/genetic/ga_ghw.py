@@ -17,6 +17,7 @@ from repro.decompositions.elimination import elimination_bags
 from repro.genetic.engine import GAParameters, GAResult, run_ga
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
+from repro.obs.control import SolverControl
 from repro.setcover.greedy import greedy_set_cover
 
 
@@ -55,6 +56,8 @@ def ga_ghw(
     target: int | None = None,
     backend: str = "python",
     jobs: int = 1,
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> GAResult:
     """Run GA-ghw on ``hypergraph``; best fitness is a ghw upper bound.
 
@@ -98,6 +101,8 @@ def ga_ghw(
             time_limit=time_limit,
             target=target,
             batch_evaluate=batch_evaluate,
+            control=control,
+            resume_state=resume_state,
         )
     finally:
         if closer is not None:

@@ -16,6 +16,7 @@ from repro.bounds.upper import min_degree_ordering, min_fill_ordering
 from repro.genetic.engine import GAParameters, GAResult, run_ga
 from repro.hypergraphs.graph import Graph, Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
+from repro.obs.control import SolverControl
 
 
 def ga_treewidth(
@@ -27,6 +28,8 @@ def ga_treewidth(
     target: int | None = None,
     backend: str = "python",
     jobs: int = 1,
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> GAResult:
     """Run GA-tw on ``graph`` (a hypergraph is replaced by its primal graph).
 
@@ -48,6 +51,8 @@ def ga_treewidth(
         ``backend="bitset"`` evaluates widths on the bitmask kernel
         (identical fitness values); ``jobs > 1`` fans each population
         out over a process pool.
+    control, resume_state:
+        Portfolio hooks forwarded to :func:`~repro.genetic.engine.run_ga`.
     """
     if isinstance(graph, Hypergraph):
         graph = graph.primal_graph()
@@ -94,6 +99,8 @@ def ga_treewidth(
             time_limit=time_limit,
             target=target,
             batch_evaluate=batch_evaluate,
+            control=control,
+            resume_state=resume_state,
         )
     finally:
         if closer is not None:

@@ -32,6 +32,7 @@ from repro.genetic.selection import best_individual, tournament_selection
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
 from repro.obs.budget import Budget
+from repro.obs.control import SolverControl
 
 Permutation = list[Vertex]
 
@@ -105,6 +106,25 @@ class ParameterVector:
             mutation=other.mutation if rng.random() < pull else self.mutation,
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "crossover_rate": self.crossover_rate,
+            "mutation_rate": self.mutation_rate,
+            "group_size": self.group_size,
+            "crossover": self.crossover,
+            "mutation": self.mutation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParameterVector":
+        return cls(
+            crossover_rate=float(data["crossover_rate"]),
+            mutation_rate=float(data["mutation_rate"]),
+            group_size=int(data["group_size"]),
+            crossover=str(data["crossover"]),
+            mutation=str(data["mutation"]),
+        )
+
     def as_ga_parameters(
         self, population_size: int, epoch_generations: int
     ) -> GAParameters:
@@ -146,6 +166,8 @@ def saiga_ghw(
     target: int | None = None,
     backend: str = "python",
     jobs: int = 1,
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> SAIGAResult:
     """Run SAIGA-ghw; the best fitness found is a ghw upper bound.
 
@@ -213,6 +235,8 @@ def saiga_ghw(
             ),
             evaluate_population=evaluate_population,
             random_population=random_population,
+            control=control,
+            resume_state=resume_state,
         )
     finally:
         if closer is not None:
@@ -234,6 +258,8 @@ def _saiga_loop(
     counters,
     evaluate_population,
     random_population,
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> SAIGAResult:
     """The Figure 7.3 epoch/migration loop, split out of :func:`saiga_ghw`
     so the evaluator's ``try/finally`` cleanup wraps the whole run."""
@@ -245,33 +271,86 @@ def _saiga_loop(
     ):
         ring: list[_Island] = []
         evaluations = 0
-        with ins.tracer.span("init_islands"):
-            for _ in range(max(1, islands)):
-                population = random_population()
-                fitnesses = evaluate_population(population)
-                evaluations += len(population)
+        if resume_state is None:
+            with ins.tracer.span("init_islands"):
+                for _ in range(max(1, islands)):
+                    population = random_population()
+                    fitnesses = evaluate_population(population)
+                    evaluations += len(population)
+                    ring.append(
+                        _Island(
+                            population=population,
+                            fitnesses=fitnesses,
+                            parameters=ParameterVector.random(rng),
+                            previous_best=min(fitnesses),
+                        )
+                    )
+            evaluations_total.inc(evaluations)
+
+            champion, champion_fitness = best_individual(
+                [ind for island in ring for ind in island.population],
+                [fit for island in ring for fit in island.fitnesses],
+            )
+            history = [champion_fitness]
+            generations = 0
+            epoch = 0
+        else:
+            if resume_state.get("rng_state") is not None:
+                rng.setstate(resume_state["rng_state"])
+            for saved in resume_state["islands"]:
                 ring.append(
                     _Island(
-                        population=population,
-                        fitnesses=fitnesses,
-                        parameters=ParameterVector.random(rng),
-                        previous_best=min(fitnesses),
+                        population=[list(ind) for ind in saved["population"]],
+                        fitnesses=list(saved["fitnesses"]),
+                        parameters=ParameterVector.from_dict(saved["parameters"]),
+                        previous_best=int(saved["previous_best"]),
+                        improvement=int(saved.get("improvement", 0)),
                     )
                 )
-        evaluations_total.inc(evaluations)
+            champion = list(resume_state["best_individual"])
+            champion_fitness = int(resume_state["best_fitness"])
+            history = list(resume_state.get("history", [champion_fitness]))
+            generations = int(resume_state.get("generations", 0))
+            evaluations = int(resume_state.get("evaluations", 0))
+            epoch = int(resume_state.get("epoch", 0))
+        if control is not None:
+            control.publish_upper(champion_fitness, champion)
 
-        champion, champion_fitness = best_individual(
-            [ind for island in ring for ind in island.population],
-            [fit for island in ring for fit in island.fitnesses],
-        )
-        history = [champion_fitness]
-        generations = 0
+        def snapshot() -> dict:
+            return {
+                "best_fitness": champion_fitness,
+                "best_individual": list(champion),
+                "islands": [
+                    {
+                        "population": [list(ind) for ind in island.population],
+                        "fitnesses": list(island.fitnesses),
+                        "parameters": island.parameters.to_dict(),
+                        "previous_best": island.previous_best,
+                        "improvement": island.improvement,
+                    }
+                    for island in ring
+                ],
+                "history": list(history),
+                "generations": generations,
+                "evaluations": evaluations,
+                "epoch": epoch,
+                "rng_state": rng.getstate(),
+            }
 
-        for _epoch in range(epochs):
+        if control is not None:
+            control.checkpoint(snapshot())
+        while epoch < epochs:
             if target is not None and champion_fitness <= target:
                 break
             if budget.exhausted():
                 break
+            if control is not None:
+                if control.should_stop():
+                    break
+                shared_lb = control.shared_lower_bound()
+                if shared_lb is not None and champion_fitness <= shared_lb:
+                    break
+            epoch += 1
             epochs_total.inc()
             for island in ring:
                 crossover = get_crossover(island.parameters.crossover)
@@ -316,6 +395,8 @@ def _saiga_loop(
                     champion, champion_fitness = best_individual(
                         island.population, island.fitnesses
                     )
+                    if control is not None:
+                        control.publish_upper(champion_fitness, champion)
             history.append(champion_fitness)
 
             # Migration: each island's best replaces the next island's worst.
@@ -345,6 +426,8 @@ def _saiga_loop(
                 new_parameters.append(vector)
             for island, vector in zip(ring, new_parameters):
                 island.parameters = vector
+            if control is not None:
+                control.checkpoint(snapshot())
 
     if metrics.enabled:
         metrics.gauge("best_fitness", solver="saiga").set(champion_fitness)

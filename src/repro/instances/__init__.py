@@ -16,6 +16,12 @@ from repro.instances.hypergraphs import (
     random_circuit,
     random_csp_hypergraph,
 )
+from repro.instances.hyperbench import (
+    format_hg,
+    parse_hg,
+    read_hg,
+    write_hg,
+)
 from repro.instances.registry import (
     graph_instance,
     hypergraph_instance,
@@ -26,6 +32,7 @@ __all__ = [
     "adder",
     "bridge",
     "clique_hypergraph",
+    "format_hg",
     "graph_instance",
     "grid2d",
     "grid3d",
@@ -33,9 +40,12 @@ __all__ = [
     "hypergraph_instance",
     "instance",
     "mycielski_graph",
+    "parse_hg",
     "queen_graph",
     "random_circuit",
     "random_csp_hypergraph",
     "random_gnm",
     "random_gnp",
+    "read_hg",
+    "write_hg",
 ]

@@ -1,0 +1,167 @@
+"""HyperBench ``.hg`` hypergraph files.
+
+HyperBench (hyperbench.dbai.tuwien.ac.at) distributes the CQ/CSP
+benchmark instances the decomposition literature evaluates on as ``.hg``
+files: a sequence of named hyperedges
+
+::
+
+    % optional comments
+    edge1 (v1, v2, v3),
+    edge2 (v3, v4,
+           v5),
+    edge3 (v5, v1).
+
+separated by commas and terminated by a period. Edges routinely span
+multiple lines, so the parser tokenises the whole file instead of going
+line by line. For convenience it also accepts the lax one-edge-per-line
+dialect of :mod:`repro.hypergraphs.io` (no separators, no terminator).
+
+Vertex and edge names keep their spelling; vertices are strings.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.io import FormatError
+
+#: Names may contain interior dots (``c1.x``); a standalone ``.`` is the
+#: end-of-file terminator.
+_TOKEN = re.compile(r"[A-Za-z0-9_\-:$]+(?:\.[A-Za-z0-9_\-:$]+)*|[(),.]")
+
+_COMMENT = re.compile(r"%.*|//.*|#.*")
+
+
+def _tokenize(text: str) -> list[tuple[str, int]]:
+    """``(token, line_number)`` pairs with comments stripped."""
+    tokens: list[tuple[str, int]] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _COMMENT.sub("", raw)
+        chars = list(line)
+        for match in _TOKEN.finditer(line):
+            tokens.append((match.group(), line_number))
+            for i in range(*match.span()):
+                chars[i] = " "
+        rest = "".join(chars).strip()
+        if rest:
+            raise FormatError(
+                f"line {line_number}: unexpected characters {rest!r}"
+            )
+    return tokens
+
+
+def parse_hg(text: str) -> Hypergraph:
+    """Parse HyperBench ``.hg`` text into a :class:`Hypergraph`."""
+    tokens = _tokenize(text)
+    hypergraph = Hypergraph()
+    position = 0
+
+    def expect(kind: str) -> tuple[str, int]:
+        nonlocal position
+        if position >= len(tokens):
+            raise FormatError(f"unexpected end of file, expected {kind}")
+        token, line = tokens[position]
+        position += 1
+        if kind == "name":
+            if token in "(),.":
+                raise FormatError(
+                    f"line {line}: expected a name, got {token!r}"
+                )
+        elif token != kind:
+            raise FormatError(
+                f"line {line}: expected {kind!r}, got {token!r}"
+            )
+        return token, line
+
+    while position < len(tokens):
+        token, line = tokens[position]
+        if token == ".":  # file terminator; anything after it is junk
+            position += 1
+            if position < len(tokens):
+                extra, extra_line = tokens[position]
+                raise FormatError(
+                    f"line {extra_line}: trailing content {extra!r} "
+                    "after final period"
+                )
+            break
+        name, line = expect("name")
+        expect("(")
+        members: list[str] = []
+        while True:
+            vertex, _ = expect("name")
+            members.append(vertex)
+            token, _ = tokens[position] if position < len(tokens) else ("", 0)
+            if token == ",":
+                position += 1
+                continue
+            expect(")")
+            break
+        try:
+            hypergraph.add_edge(name, members)
+        except ValueError as exc:
+            raise FormatError(f"line {line}: {exc}") from exc
+        # after an edge: ',' continues, '.' ends, a bare name starts the
+        # next edge (the lax line-per-edge dialect)
+        if position < len(tokens) and tokens[position][0] == ",":
+            position += 1
+    if hypergraph.num_edges() == 0:
+        raise FormatError("no hyperedges found")
+    return hypergraph
+
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9_\-:$]")
+
+
+def _safe_names(values) -> dict:
+    """Deterministic ``value -> .hg token`` mapping.
+
+    Generated instances use tuple vertices (``(0, 1)``); their ``str``
+    forms contain parentheses and commas, so unsafe characters are
+    replaced by underscores. Collisions (two values mangling to the same
+    token) are refused rather than silently merged.
+    """
+    mapping: dict = {}
+    taken: dict[str, object] = {}
+    for value in sorted(values, key=str):
+        token = _UNSAFE.sub("_", str(value)).strip(".") or "v"
+        if token in taken and taken[token] != value:
+            raise FormatError(
+                f"names {taken[token]!r} and {value!r} both map to "
+                f"{token!r}; relabel the hypergraph first"
+            )
+        taken[token] = value
+        mapping[value] = token
+    return mapping
+
+
+def format_hg(hypergraph: Hypergraph) -> str:
+    """Render a hypergraph as canonical ``.hg`` text.
+
+    Edges are sorted by name and vertices by spelling, so the output is
+    deterministic and diffs cleanly; a parse -> format round trip on
+    ``.hg``-safe names is a fixed point.
+    """
+    lines = [
+        f"% {hypergraph.num_vertices()} vertices, "
+        f"{hypergraph.num_edges()} hyperedges"
+    ]
+    edges = hypergraph.edges()
+    edge_names = _safe_names(edges.keys())
+    vertex_names = _safe_names(hypergraph.vertices())
+    ordered = sorted(edges.items(), key=lambda kv: edge_names[kv[0]])
+    for index, (name, edge) in enumerate(ordered):
+        members = ",".join(sorted(vertex_names[v] for v in edge))
+        separator = "." if index == len(ordered) - 1 else ","
+        lines.append(f"{edge_names[name]}({members}){separator}")
+    return "\n".join(lines) + "\n"
+
+
+def read_hg(path: str | Path) -> Hypergraph:
+    return parse_hg(Path(path).read_text())
+
+
+def write_hg(hypergraph: Hypergraph, path: str | Path) -> None:
+    Path(path).write_text(format_hg(hypergraph))

@@ -104,6 +104,17 @@ class CoverCache:
             self.misses = 0
             self.evictions = 0
 
+    def counts(self) -> tuple[int, int, int]:
+        """One atomic ``(hits, misses, evictions)`` read.
+
+        Hot paths that publish *deltas* must read all three under the
+        lock — reading the fields one by one can interleave with a
+        concurrent lookup and report a hit without its lookup (or vice
+        versa), making deltas drift negative or double-count.
+        """
+        with self._lock:
+            return self.hits, self.misses, self.evictions
+
     def stats(self) -> dict:
         """Cumulative counters plus current occupancy."""
         with self._lock:

@@ -58,7 +58,7 @@ def make_bit_ghw_evaluator(hypergraph: Hypergraph, cover: str = "greedy"):
     """
     bh = BitHypergraph.from_hypergraph(hypergraph)
     cache = cover_cache()
-    seen = {"hits": cache.hits, "misses": cache.misses}
+    seen = {"counts": cache.counts()}
 
     def evaluate(ordering: Sequence[Vertex]) -> int:
         width = bit_ordering_ghw(
@@ -67,14 +67,18 @@ def make_bit_ghw_evaluator(hypergraph: Hypergraph, cover: str = "greedy"):
         metrics = obs.current().metrics
         if metrics.enabled:
             metrics.counter("kernel_evaluations", measure="ghw").inc()
-            hits, misses = cache.hits, cache.misses
-            metrics.counter("cover_cache", event="hit").inc(
-                hits - seen["hits"]
-            )
-            metrics.counter("cover_cache", event="miss").inc(
-                misses - seen["misses"]
-            )
-            seen["hits"], seen["misses"] = hits, misses
+            counts = cache.counts()
+            last = seen["counts"]
+            for event, now, before in (
+                ("hit", counts[0], last[0]),
+                ("miss", counts[1], last[1]),
+                ("eviction", counts[2], last[2]),
+            ):
+                if now > before:
+                    metrics.counter("cover_cache", event=event).inc(
+                        now - before
+                    )
+            seen["counts"] = counts
         return width
 
     return evaluate

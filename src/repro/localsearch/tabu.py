@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.hypergraphs.graph import Vertex
 from repro.obs.budget import Budget
+from repro.obs.control import SolverControl
 
 Permutation = list[Vertex]
 Evaluator = Callable[[Sequence[Vertex]], int]
@@ -69,8 +70,17 @@ def tabu_search(
     initial: Sequence[Vertex] | None = None,
     time_limit: float | None = None,
     target: int | None = None,
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> TabuResult:
-    """Tabu-search an ordering; smaller fitness is better."""
+    """Tabu-search an ordering; smaller fitness is better.
+
+    ``control`` attaches the walk to a portfolio bound bus (cooperative
+    stop, best-so-far publication, one resume snapshot per iteration);
+    ``resume_state`` continues a snapshotted walk at its saved iteration
+    (the tabu list is serialised as ``[vertex, expiry]`` pairs so the
+    snapshot survives a JSON round trip).
+    """
     parameters = (parameters or TabuParameters()).validated()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     budget = Budget(time_limit=time_limit)
@@ -93,19 +103,60 @@ def tabu_search(
     with ins.tracer.span(
         "tabu", tenure=parameters.tenure, iterations=parameters.iterations
     ):
-        current_fitness = evaluate(current)
-        best, best_fitness = list(current), current_fitness
-        evaluations = 1
-        evaluations_total.inc()
-        history = [best_fitness]
-        tabu_until: dict[Vertex, int] = {}
-        stalled = 0
+        if resume_state is None:
+            current_fitness = evaluate(current)
+            best, best_fitness = list(current), current_fitness
+            evaluations = 1
+            evaluations_total.inc()
+            history = [best_fitness]
+            tabu_until: dict[Vertex, int] = {}
+            stalled = 0
+            iteration = 0
+        else:
+            if resume_state.get("rng_state") is not None:
+                rng.setstate(resume_state["rng_state"])
+            current = list(resume_state["current"])
+            current_fitness = int(resume_state["current_fitness"])
+            best = list(resume_state["best_individual"])
+            best_fitness = int(resume_state["best_fitness"])
+            evaluations = int(resume_state.get("evaluations", 0))
+            history = list(resume_state.get("history", [best_fitness]))
+            tabu_until = {
+                vertex: int(expiry)
+                for vertex, expiry in resume_state.get("tabu", [])
+            }
+            stalled = int(resume_state.get("stalled", 0))
+            iteration = int(resume_state.get("iteration", 0))
+        if control is not None:
+            control.publish_upper(best_fitness, best)
 
-        for iteration in range(parameters.iterations):
+        def snapshot() -> dict:
+            return {
+                "best_fitness": best_fitness,
+                "best_individual": list(best),
+                "current": list(current),
+                "current_fitness": current_fitness,
+                "tabu": [[vertex, expiry] for vertex, expiry in tabu_until.items()],
+                "stalled": stalled,
+                "iteration": iteration,
+                "evaluations": evaluations,
+                "history": list(history),
+                "rng_state": rng.getstate(),
+            }
+
+        if control is not None:
+            control.checkpoint(snapshot())
+        while iteration < parameters.iterations:
             if target is not None and best_fitness <= target:
                 break
             if budget.exhausted():
                 break
+            if control is not None:
+                if control.should_stop():
+                    break
+                shared_lb = control.shared_lower_bound()
+                if shared_lb is not None and best_fitness <= shared_lb:
+                    break
 
             best_move: tuple[int, int] | None = None
             best_move_fitness: int | None = None
@@ -141,6 +192,8 @@ def tabu_search(
                 if current_fitness < best_fitness:
                     best, best_fitness = list(current), current_fitness
                     stalled = 0
+                    if control is not None:
+                        control.publish_upper(best_fitness, best)
                 else:
                     stalled += 1
             if stalled >= parameters.stall_restart:
@@ -150,6 +203,9 @@ def tabu_search(
                 stalled = 0
                 restarts_total.inc()
             history.append(best_fitness)
+            iteration += 1
+            if control is not None:
+                control.checkpoint(snapshot())
 
     if metrics.enabled:
         metrics.gauge("best_fitness", solver="tabu").set(best_fitness)
@@ -170,6 +226,8 @@ def tabu_treewidth(
     seed: int = 0,
     time_limit: float | None = None,
     backend: str = "python",
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> TabuResult:
     """Tabu-search upper bound on the treewidth of ``graph``.
 
@@ -193,6 +251,8 @@ def tabu_treewidth(
         seed=rng,
         initial=min_fill_ordering(graph, rng),
         time_limit=time_limit,
+        control=control,
+        resume_state=resume_state,
     )
 
 
@@ -202,6 +262,8 @@ def tabu_ghw(
     seed: int = 0,
     time_limit: float | None = None,
     backend: str = "python",
+    control: SolverControl | None = None,
+    resume_state: dict | None = None,
 ) -> TabuResult:
     """Tabu-search upper bound on ``ghw(hypergraph)``.
 
@@ -225,4 +287,6 @@ def tabu_ghw(
         seed=rng,
         initial=min_fill_ordering(primal, rng),
         time_limit=time_limit,
+        control=control,
+        resume_state=resume_state,
     )

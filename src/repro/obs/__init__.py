@@ -26,6 +26,7 @@ pair whose instruments are shared no-ops, so uninstrumented callers pay
 """
 
 from repro.obs.budget import Budget
+from repro.obs.control import LocalControl, SolverControl
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -59,6 +60,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instruments",
+    "LocalControl",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",
@@ -66,6 +68,7 @@ __all__ = [
     "NullTracer",
     "RunReport",
     "SCHEMA_VERSION",
+    "SolverControl",
     "Span",
     "Tracer",
     "append_jsonl",

@@ -43,6 +43,7 @@ _FIELD_TYPES: dict[str, tuple[bool, tuple[type, ...]]] = {
     "spans": (True, (list,)),
     "peak_rss_kb": (False, (int, type(None))),
     "meta": (False, (dict,)),
+    "workers": (False, (list,)),
 }
 
 
@@ -76,6 +77,10 @@ class RunReport:
     spans: list = field(default_factory=list)
     peak_rss_kb: int | None = None
     meta: dict = field(default_factory=dict)
+    workers: list = field(default_factory=list)
+    """Nested per-worker reports (portfolio runs): plain report dicts,
+    each validating against this same schema."""
+
     schema_version: int = SCHEMA_VERSION
 
     @classmethod
@@ -92,6 +97,7 @@ class RunReport:
         upper_bound: int | float | None = None,
         elapsed_s: float = 0.0,
         meta: dict | None = None,
+        workers: list | None = None,
     ) -> "RunReport":
         """Build a report from the run's active instruments."""
         by_kind = instruments.metrics.snapshot_by_kind()
@@ -110,6 +116,7 @@ class RunReport:
             spans=instruments.tracer.tree(),
             peak_rss_kb=peak_rss_kb(),
             meta=dict(meta or {}),
+            workers=list(workers or []),
         )
 
     def to_dict(self) -> dict:
@@ -172,6 +179,13 @@ def validate_report(data: dict) -> None:
         for span in spans:
             if not isinstance(span, dict) or "name" not in span:
                 problems.append(f"span entry {span!r} lacks a 'name'")
+    workers = data.get("workers")
+    if isinstance(workers, list):
+        for index, worker in enumerate(workers):
+            try:
+                validate_report(worker)
+            except ValueError as error:
+                problems.append(f"workers[{index}]: {error}")
     if problems:
         raise ValueError("invalid RunReport: " + "; ".join(problems))
 

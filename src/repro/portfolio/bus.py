@@ -1,0 +1,197 @@
+"""The bound bus: how racing workers share bounds with the scheduler.
+
+Three pieces:
+
+* :class:`Incumbent` — the scheduler-side fold of every published bound:
+  the least upper bound seen (with its witness ordering and source
+  worker) and the greatest lower bound. ``closed`` is the portfolio's
+  early-stop condition (``lb >= ub``).
+* :class:`BusClient` — the :class:`~repro.obs.control.SolverControl`
+  handed to a worker *process*. Publishing pushes a message onto the
+  scheduler's queue **and** eagerly folds the value into a pair of
+  shared integers (``multiprocessing.Value``), so sibling workers see a
+  new incumbent on their very next poll instead of after a scheduler
+  round trip. Reading bounds never blocks: it is one shared-memory load.
+* :class:`InlineClient` — the same contract for the sequential inline
+  scheduler, wired straight to the :class:`Incumbent` plus a wall-clock
+  deadline (the worker's time slice).
+
+Sentinels: the shared upper bound starts at ``UB_SENTINEL`` ("no bound
+yet", larger than any real width) and the shared lower bound at
+``LB_SENTINEL`` (-1, smaller than any real width).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.obs.control import SolverControl
+
+UB_SENTINEL = 2**62
+LB_SENTINEL = -1
+
+
+@dataclass
+class BoundMessage:
+    """One bus message: a bound improvement or a worker's final result."""
+
+    type: str
+    """``"upper"``, ``"lower"`` or ``"result"``."""
+
+    worker: str
+    value: int | None = None
+    ordering: list | None = None
+    payload: dict = field(default_factory=dict)
+    """For ``result`` messages: the WorkerResult dict plus the worker's
+    RunReport dict."""
+
+
+class Incumbent:
+    """Scheduler-side fold of all published bounds."""
+
+    def __init__(self) -> None:
+        self.upper: int | None = None
+        self.ordering: list | None = None
+        self.upper_source: str | None = None
+        self.lower: int | None = None
+        self.lower_source: str | None = None
+        self.upper_improvements = 0
+        self.lower_improvements = 0
+
+    def offer_upper(
+        self, value: int, ordering: Sequence | None, source: str
+    ) -> bool:
+        """Fold in an upper bound; ``True`` iff it improved the incumbent."""
+        if self.upper is not None and value >= self.upper:
+            return False
+        self.upper = value
+        self.ordering = list(ordering) if ordering is not None else None
+        self.upper_source = source
+        self.upper_improvements += 1
+        return True
+
+    def offer_lower(self, value: int, source: str) -> bool:
+        if self.lower is not None and value <= self.lower:
+            return False
+        self.lower = value
+        self.lower_source = source
+        self.lower_improvements += 1
+        return True
+
+    @property
+    def closed(self) -> bool:
+        """The bounds have met: the portfolio-wide answer is certified."""
+        return (
+            self.upper is not None
+            and self.lower is not None
+            and self.lower >= self.upper
+        )
+
+
+class BusClient(SolverControl):
+    """Worker-process end of the bus.
+
+    ``queue``/``stop_event``/``shared_upper``/``shared_lower`` are the
+    ``multiprocessing`` primitives the scheduler created; ``checkpointer``
+    (optional) persists resume snapshots in the worker process.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        queue,
+        stop_event,
+        shared_upper,
+        shared_lower,
+        checkpointer=None,
+    ) -> None:
+        self.name = name
+        self.queue = queue
+        self.stop_event = stop_event
+        self.shared_upper = shared_upper
+        self.shared_lower = shared_lower
+        self.checkpointer = checkpointer
+
+    def should_stop(self) -> bool:
+        return self.stop_event.is_set()
+
+    def shared_upper_bound(self) -> int | None:
+        value = self.shared_upper.value
+        return None if value >= UB_SENTINEL else value
+
+    def shared_lower_bound(self) -> int | None:
+        value = self.shared_lower.value
+        return None if value <= LB_SENTINEL else value
+
+    def publish_upper(self, value: int, ordering: Sequence | None = None) -> None:
+        # Eager fold so siblings can prune before the scheduler's next
+        # poll; the queue message carries the witness for the scheduler.
+        with self.shared_upper.get_lock():
+            if value < self.shared_upper.value:
+                self.shared_upper.value = value
+        self.queue.put(
+            BoundMessage(
+                type="upper",
+                worker=self.name,
+                value=int(value),
+                ordering=list(ordering) if ordering is not None else None,
+            )
+        )
+
+    def publish_lower(self, value: int) -> None:
+        with self.shared_lower.get_lock():
+            if value > self.shared_lower.value:
+                self.shared_lower.value = value
+        self.queue.put(
+            BoundMessage(type="lower", worker=self.name, value=int(value))
+        )
+
+    def checkpoint(self, state: dict) -> None:
+        if self.checkpointer is not None:
+            self.checkpointer.offer(state)
+
+
+class InlineClient(SolverControl):
+    """In-process bus end for the sequential inline scheduler.
+
+    The "shared" bounds are the live :class:`Incumbent` (earlier workers'
+    results are visible to later ones); the stop signal is this worker's
+    time-slice deadline. Publishing folds straight into the incumbent.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        incumbent: Incumbent,
+        deadline: float | None = None,
+        checkpointer=None,
+        clock=time.monotonic,
+    ) -> None:
+        self.name = name
+        self.incumbent = incumbent
+        self.deadline = deadline
+        self.checkpointer = checkpointer
+        self.clock = clock
+
+    def should_stop(self) -> bool:
+        if self.incumbent.closed:
+            return True
+        return self.deadline is not None and self.clock() >= self.deadline
+
+    def shared_upper_bound(self) -> int | None:
+        return self.incumbent.upper
+
+    def shared_lower_bound(self) -> int | None:
+        return self.incumbent.lower
+
+    def publish_upper(self, value: int, ordering: Sequence | None = None) -> None:
+        self.incumbent.offer_upper(int(value), ordering, self.name)
+
+    def publish_lower(self, value: int) -> None:
+        self.incumbent.offer_lower(int(value), self.name)
+
+    def checkpoint(self, state: dict) -> None:
+        if self.checkpointer is not None:
+            self.checkpointer.offer(state)

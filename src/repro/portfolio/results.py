@@ -1,0 +1,132 @@
+"""Result records for portfolio races.
+
+A race produces one :class:`WorkerResult` per strategy plus a combined
+:class:`PortfolioResult` carrying the portfolio-wide incumbent: the best
+upper bound any worker found (with its witness ordering) and the best
+lower bound any worker proved. The portfolio certifies optimality when
+the two meet — even when no single worker did, e.g. a GA found the
+optimal ordering and BB exhausted while pruning against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Why the race ended.
+STOP_REASONS = ("closed", "deadline", "exhausted", "stopped")
+
+
+@dataclass
+class WorkerResult:
+    """Outcome of one strategy in the race."""
+
+    name: str
+    kind: str
+    status: str
+    """``optimal`` / ``interrupted`` (exact), ``heuristic``, ``stopped``
+    (cancelled before reporting), or ``error``."""
+
+    lower_bound: int | None = None
+    upper_bound: int | None = None
+    ordering: list = field(default_factory=list)
+    elapsed: float = 0.0
+    detail: dict = field(default_factory=dict)
+    """Family-specific extras: nodes expanded, evaluations, generations."""
+
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+            "ordering": list(self.ordering),
+            "elapsed": self.elapsed,
+            "detail": dict(self.detail),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkerResult":
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            status=data["status"],
+            lower_bound=data.get("lower_bound"),
+            upper_bound=data.get("upper_bound"),
+            ordering=list(data.get("ordering", [])),
+            elapsed=float(data.get("elapsed", 0.0)),
+            detail=dict(data.get("detail", {})),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class PortfolioResult:
+    """Combined outcome of a race on one instance."""
+
+    measure: str
+    lower_bound: int | None
+    upper_bound: int | None
+    ordering: list = field(default_factory=list)
+    """Witness ordering achieving ``upper_bound`` (portfolio-best)."""
+
+    stop_reason: str = "exhausted"
+    elapsed: float = 0.0
+    workers: list[WorkerResult] = field(default_factory=list)
+    upper_source: str | None = None
+    """Name of the worker that produced the incumbent upper bound."""
+
+    lower_source: str | None = None
+
+    worker_reports: list = field(default_factory=list)
+    """Per-worker :class:`~repro.obs.report.RunReport` dicts, in worker
+    order, for nesting under a portfolio-level report."""
+
+    @property
+    def optimal(self) -> bool:
+        return (
+            self.lower_bound is not None
+            and self.upper_bound is not None
+            and self.lower_bound >= self.upper_bound
+        )
+
+    @property
+    def value(self) -> int | None:
+        return self.upper_bound if self.optimal else None
+
+    @property
+    def early_stopped(self) -> bool:
+        """The race halted because the bounds met, not because time ran out."""
+        return self.stop_reason == "closed"
+
+    @property
+    def gap(self) -> int | None:
+        if self.lower_bound is None or self.upper_bound is None:
+            return None
+        return self.upper_bound - self.lower_bound
+
+    def summary(self) -> str:
+        if self.optimal:
+            shown = f"width={self.upper_bound} (optimal)"
+        elif self.upper_bound is not None:
+            lb = "?" if self.lower_bound is None else self.lower_bound
+            shown = f"width in [{lb}, {self.upper_bound}]"
+        else:
+            shown = "no bounds"
+        return (
+            f"portfolio[{self.measure}]: {shown}, "
+            f"stop={self.stop_reason}, workers={len(self.workers)}, "
+            f"time={self.elapsed:.2f}s"
+        )
+
+
+def portfolio_status(result: PortfolioResult) -> str:
+    """The RunReport status of a portfolio outcome."""
+    if result.optimal:
+        return "optimal"
+    if result.lower_bound is not None:
+        return "interrupted"
+    return "heuristic"

@@ -24,6 +24,7 @@ from repro.bounds.ghw_lower import tw_ksc_width_remaining
 from repro.hypergraphs.elimination_graph import EliminationGraph
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
+from repro.obs.control import SolverControl
 from repro.reductions.pruning import pr2_prune_children, swap_safe_ghw
 from repro.reductions.simplicial import find_simplicial
 from repro.search.bb_ghw import initial_ghw_incumbent
@@ -46,8 +47,15 @@ def astar_ghw(
     use_reductions: bool = True,
     lb_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
     rng: random.Random | None = None,
+    control: SolverControl | None = None,
 ) -> SearchResult:
-    """Compute ``ghw(hypergraph)`` via best-first search."""
+    """Compute ``ghw(hypergraph)`` via best-first search.
+
+    ``control`` attaches the search to a portfolio bound bus exactly as
+    in :func:`~repro.search.astar_tw.astar_treewidth`; once external
+    pruning has occurred, the returned/published lower bound is capped at
+    the smallest external bound ever pruned against.
+    """
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "astar-ghw"
     ins = obs.current()
@@ -77,8 +85,29 @@ def astar_ghw(
                 hypergraph, primal, tw_methods=lb_methods, rng=rng
             )
             ub, ub_ordering = initial_ghw_incumbent(hypergraph, solver, rng)
+        if control is not None:
+            control.publish_lower(lb)
+            control.publish_upper(ub, ub_ordering)
         if lb >= ub:
             return _finish(certified(ub, ub_ordering, budget, name))
+
+        ext_floor: int | None = None
+
+        def effective_ub() -> int:
+            """Pruning bound: own root ub vs the bus incumbent."""
+            nonlocal ext_floor
+            if control is not None:
+                shared = control.shared_upper_bound()
+                if shared is not None and shared < ub:
+                    ext_floor = (
+                        shared if ext_floor is None else min(ext_floor, shared)
+                    )
+                    return shared
+            return ub
+
+        def proven_lb() -> int:
+            """The frontier lb, capped by any external bound pruned against."""
+            return lb if ext_floor is None else min(lb, ext_floor)
 
         working = EliminationGraph(primal)
         sequence = count()
@@ -110,14 +139,28 @@ def astar_ghw(
 
         with ins.tracer.span("search"):
             while heap:
-                if budget.exhausted():
+                if budget.exhausted() or (
+                    control is not None and control.should_stop()
+                ):
                     return _finish(
-                        interrupted(lb, ub, ub_ordering, budget, name)
+                        interrupted(proven_lb(), ub, ub_ordering, budget, name)
                     )
                 f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
                 budget.charge()
                 nodes_total.inc()
-                lb = max(lb, f)
+                if f > lb:
+                    lb = f
+                    if control is not None:
+                        control.publish_lower(proven_lb())
+                if control is not None:
+                    control.checkpoint(
+                        {
+                            "best_fitness": ub,
+                            "best_individual": list(ub_ordering),
+                            "lower_bound": proven_lb(),
+                            "nodes": budget.nodes,
+                        }
+                    )
                 working.switch_to(prefix)
 
                 if remainder_cover_size() <= g:
@@ -125,6 +168,13 @@ def astar_ghw(
                     # whose cover fits in g — the completion has width
                     # exactly g.
                     ordering = list(prefix) + sorted(working.vertices(), key=repr)
+                    if ext_floor is not None and ext_floor < g:
+                        # States between the external bound and g were
+                        # pruned, so g is not certified here — but the
+                        # bus witness at ext_floor closes the portfolio.
+                        return _finish(
+                            interrupted(ext_floor, g, ordering, budget, name)
+                        )
                     return _finish(certified(g, ordering, budget, name))
 
                 for child in children:
@@ -150,7 +200,7 @@ def astar_ghw(
                         hypergraph, working.graph(), tw_methods=lb_methods, rng=rng
                     )
                     child_f = max(child_g, h, f)
-                    if child_f < ub:
+                    if child_f < effective_ub():
                         heapq.heappush(
                             heap,
                             (
@@ -167,4 +217,12 @@ def astar_ghw(
                         prune_ub.inc()
                     working.restore()
 
+        if ext_floor is not None and ext_floor < ub:
+            if control is not None:
+                control.publish_lower(ext_floor)
+            return _finish(
+                interrupted(ext_floor, ub, ub_ordering, budget, name)
+            )
+        if control is not None:
+            control.publish_lower(ub)
         return _finish(certified(ub, ub_ordering, budget, name))

@@ -29,6 +29,7 @@ from repro.bounds.lower import treewidth_lower_bound
 from repro.bounds.upper import upper_bound_ordering
 from repro.hypergraphs.elimination_graph import EliminationGraph
 from repro.hypergraphs.graph import Graph, Vertex
+from repro.obs.control import SolverControl
 from repro.reductions.pruning import pr2_prune_children, swap_safe_treewidth
 from repro.reductions.simplicial import find_reduction_vertex
 from repro.search.common import (
@@ -48,11 +49,20 @@ def astar_treewidth(
     use_reductions: bool = True,
     lb_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
     rng: random.Random | None = None,
+    control: SolverControl | None = None,
 ) -> SearchResult:
     """Compute the treewidth of ``graph`` via best-first search.
 
     Returns a certified :class:`SearchResult` or, when the budget runs
     out, bounds with ``lower_bound`` taken from the A* frontier.
+
+    ``control`` attaches the search to a portfolio bound bus: states are
+    additionally pruned against the portfolio incumbent upper bound, the
+    anytime frontier lower bound is published as it rises, and the search
+    stops cooperatively. Once external pruning has occurred, frontier
+    ``f`` values above the external bound no longer prove a lower bound,
+    so the published/returned lower bound is capped at the smallest
+    external bound ever pruned against.
     """
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "astar-tw"
@@ -76,8 +86,29 @@ def astar_treewidth(
         with ins.tracer.span("root_bounds"):
             lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
             ub, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
+        if control is not None:
+            control.publish_lower(lb)
+            control.publish_upper(ub, ub_ordering)
         if lb >= ub:
             return _finish(certified(ub, ub_ordering, budget, name))
+
+        ext_floor: int | None = None
+
+        def effective_ub() -> int:
+            """Pruning bound: own root ub vs the bus incumbent."""
+            nonlocal ext_floor
+            if control is not None:
+                shared = control.shared_upper_bound()
+                if shared is not None and shared < ub:
+                    ext_floor = (
+                        shared if ext_floor is None else min(ext_floor, shared)
+                    )
+                    return shared
+            return ub
+
+        def proven_lb() -> int:
+            """The frontier lb, capped by any external bound pruned against."""
+            return lb if ext_floor is None else min(lb, ext_floor)
 
         working = EliminationGraph(graph)
         sequence = count()
@@ -99,20 +130,41 @@ def astar_treewidth(
 
         with ins.tracer.span("search"):
             while heap:
-                if budget.exhausted():
+                if budget.exhausted() or (
+                    control is not None and control.should_stop()
+                ):
                     return _finish(
-                        interrupted(lb, ub, ub_ordering, budget, name)
+                        interrupted(proven_lb(), ub, ub_ordering, budget, name)
                     )
                 f, neg_depth, _tie, g, prefix, children, forced = heapq.heappop(heap)
                 budget.charge()
                 nodes_total.inc()
-                lb = max(lb, f)
+                if f > lb:
+                    lb = f
+                    if control is not None:
+                        control.publish_lower(proven_lb())
+                if control is not None:
+                    control.checkpoint(
+                        {
+                            "best_fitness": ub,
+                            "best_individual": list(ub_ordering),
+                            "lower_bound": proven_lb(),
+                            "nodes": budget.nodes,
+                        }
+                    )
                 working.switch_to(prefix)
                 remaining = working.num_vertices()
 
                 if g >= remaining - 1:
                     # Goal: finishing in any order yields width exactly g.
                     ordering = list(prefix) + sorted(working.vertices(), key=repr)
+                    if ext_floor is not None and ext_floor < g:
+                        # States between the external bound and g were
+                        # pruned, so g is not certified here — but the
+                        # bus witness at ext_floor closes the portfolio.
+                        return _finish(
+                            interrupted(ext_floor, g, ordering, budget, name)
+                        )
                     return _finish(certified(g, ordering, budget, name))
 
                 for child in children:
@@ -140,7 +192,7 @@ def astar_treewidth(
                         working.graph(), methods=lb_methods, rng=rng
                     )
                     child_f = max(child_g, h, f)
-                    if child_f < ub:
+                    if child_f < effective_ub():
                         heapq.heappush(
                             heap,
                             (
@@ -157,5 +209,15 @@ def astar_treewidth(
                         prune_ub.inc()
                     working.restore()
 
-        # Every state with f < ub was exhausted: ub is the treewidth.
+        # Every state with f < ub was exhausted: ub is the treewidth —
+        # unless pruning used an external bound below ub, in which case
+        # exhaustion only proves the optimum is at least that bound.
+        if ext_floor is not None and ext_floor < ub:
+            if control is not None:
+                control.publish_lower(ext_floor)
+            return _finish(
+                interrupted(ext_floor, ub, ub_ordering, budget, name)
+            )
+        if control is not None:
+            control.publish_lower(ub)
         return _finish(certified(ub, ub_ordering, budget, name))

@@ -32,6 +32,7 @@ from repro.bounds.upper import min_degree_ordering, min_fill_ordering
 from repro.hypergraphs.elimination_graph import EliminationGraph
 from repro.hypergraphs.graph import Vertex
 from repro.hypergraphs.hypergraph import Hypergraph
+from repro.obs.control import SolverControl
 from repro.reductions.pruning import pr1_ghw, pr2_prune_children, swap_safe_ghw
 from repro.reductions.simplicial import find_simplicial
 from repro.search.common import (
@@ -46,14 +47,24 @@ from repro.setcover.greedy import greedy_set_cover
 
 
 class _Incumbent:
-    def __init__(self, width: int, ordering: list[Vertex]) -> None:
+    def __init__(
+        self,
+        width: int,
+        ordering: list[Vertex],
+        control: SolverControl | None = None,
+    ) -> None:
         self.width = width
         self.ordering = ordering
+        self.control = control
+        if control is not None:
+            control.publish_upper(width, ordering)
 
     def offer(self, width: int, ordering: list[Vertex]) -> None:
         if width < self.width:
             self.width = width
             self.ordering = ordering
+            if self.control is not None:
+                self.control.publish_upper(width, ordering)
 
 
 def initial_ghw_incumbent(
@@ -93,8 +104,15 @@ def branch_and_bound_ghw(
     use_reductions: bool = True,
     lb_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
     rng: random.Random | None = None,
+    control: SolverControl | None = None,
 ) -> SearchResult:
-    """Compute ``ghw(hypergraph)`` (or bounds, if interrupted)."""
+    """Compute ``ghw(hypergraph)`` (or bounds, if interrupted).
+
+    ``control`` attaches the search to a portfolio bound bus exactly as
+    in :func:`~repro.search.bb_tw.branch_and_bound_treewidth`: stop
+    cooperatively, prune against the portfolio incumbent, publish bound
+    improvements and best-so-far checkpoints.
+    """
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "bb-ghw"
     ins = obs.current()
@@ -125,7 +143,9 @@ def branch_and_bound_ghw(
                 hypergraph, primal, tw_methods=lb_methods, rng=rng
             )
             ub_width, ub_ordering = initial_ghw_incumbent(hypergraph, solver, rng)
-        incumbent = _Incumbent(ub_width, ub_ordering)
+        incumbent = _Incumbent(ub_width, ub_ordering, control)
+        if control is not None:
+            control.publish_lower(root_lb)
         if root_lb >= incumbent.width:
             return _finish(
                 certified(incumbent.width, incumbent.ordering, budget, name)
@@ -133,6 +153,19 @@ def branch_and_bound_ghw(
 
         working = EliminationGraph(primal)
         aborted = False
+        ext_floor: int | None = None
+
+        def bound() -> int:
+            """Effective pruning bound: own incumbent vs the bus incumbent."""
+            nonlocal ext_floor
+            if control is not None:
+                shared = control.shared_upper_bound()
+                if shared is not None and shared < incumbent.width:
+                    ext_floor = (
+                        shared if ext_floor is None else min(ext_floor, shared)
+                    )
+                    return shared
+            return incumbent.width
 
         def remainder_cover_size() -> int:
             """Greedy cover of all remaining vertices (PR1's certificate)."""
@@ -153,11 +186,24 @@ def branch_and_bound_ghw(
 
         def visit(g: int, children: list[Vertex], forced: bool) -> None:
             nonlocal aborted
-            if aborted or budget.exhausted():
+            if (
+                aborted
+                or budget.exhausted()
+                or (control is not None and control.should_stop())
+            ):
                 aborted = True
                 return
             budget.charge()
             nodes_total.inc()
+            if control is not None:
+                control.checkpoint(
+                    {
+                        "best_fitness": incumbent.width,
+                        "best_individual": list(incumbent.ordering),
+                        "lower_bound": root_lb,
+                        "nodes": budget.nodes,
+                    }
+                )
 
             prefix = working.eliminated()
             if working.num_vertices() == 0:
@@ -179,9 +225,10 @@ def branch_and_bound_ghw(
             for child in ranked:
                 if aborted:
                     return
+                limit = bound()
                 bag = {child} | working.neighbours(child)
                 child_g = max(g, solver.cover_size(bag))
-                if child_g >= incumbent.width:
+                if child_g >= limit:
                     prune_incumbent.inc()
                     continue
                 grandchildren = [v for v in working.vertices() if v != child]
@@ -203,7 +250,7 @@ def branch_and_bound_ghw(
                 h = tw_ksc_width_remaining(
                     hypergraph, working.graph(), tw_methods=lb_methods, rng=rng
                 )
-                if max(child_g, h) < incumbent.width:
+                if max(child_g, h) < limit:
                     visit(child_g, grandchildren, child_forced)
                 else:
                     prune_lb.inc()
@@ -225,6 +272,20 @@ def branch_and_bound_ghw(
                     root_lb, incumbent.width, incumbent.ordering, budget, name
                 )
             )
+        if ext_floor is not None and ext_floor < incumbent.width:
+            # Exhausted while pruning against a portfolio bound below our
+            # own incumbent: optimum >= that bound is proven here, the
+            # matching witness lives elsewhere on the bus.
+            final_lb = max(root_lb, ext_floor)
+            if control is not None:
+                control.publish_lower(final_lb)
+            return _finish(
+                interrupted(
+                    final_lb, incumbent.width, incumbent.ordering, budget, name
+                )
+            )
+        if control is not None:
+            control.publish_lower(incumbent.width)
         return _finish(
             certified(incumbent.width, incumbent.ordering, budget, name)
         )

@@ -23,6 +23,7 @@ from repro.bounds.lower import treewidth_lower_bound
 from repro.bounds.upper import upper_bound_ordering
 from repro.hypergraphs.elimination_graph import EliminationGraph
 from repro.hypergraphs.graph import Graph, Vertex
+from repro.obs.control import SolverControl
 from repro.reductions.pruning import pr1_treewidth, pr2_prune_children, swap_safe_treewidth
 from repro.reductions.simplicial import find_reduction_vertex
 from repro.search.common import (
@@ -35,16 +36,30 @@ from repro.search.common import (
 
 
 class _Incumbent:
-    """Best complete ordering found so far."""
+    """Best complete ordering found so far.
 
-    def __init__(self, width: int, ordering: list[Vertex]) -> None:
+    When a :class:`SolverControl` is attached, improvements are published
+    to it (the portfolio's bound bus) as they happen.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        ordering: list[Vertex],
+        control: SolverControl | None = None,
+    ) -> None:
         self.width = width
         self.ordering = ordering
+        self.control = control
+        if control is not None:
+            control.publish_upper(width, ordering)
 
     def offer(self, width: int, ordering: list[Vertex]) -> None:
         if width < self.width:
             self.width = width
             self.ordering = ordering
+            if self.control is not None:
+                self.control.publish_upper(width, ordering)
 
 
 def branch_and_bound_treewidth(
@@ -55,8 +70,19 @@ def branch_and_bound_treewidth(
     use_reductions: bool = True,
     lb_methods: tuple[str, ...] = ("minor-min-width", "minor-gamma-r"),
     rng: random.Random | None = None,
+    control: SolverControl | None = None,
 ) -> SearchResult:
-    """Compute the treewidth of ``graph`` (or bounds, if interrupted)."""
+    """Compute the treewidth of ``graph`` (or bounds, if interrupted).
+
+    ``control`` attaches the search to a portfolio bound bus: the search
+    stops cooperatively when the control says so, prunes against the
+    portfolio-wide incumbent upper bound, publishes its own incumbent and
+    proven lower bounds, and offers best-so-far checkpoints. When the
+    search exhausts while pruning against an external bound below its own
+    incumbent, the result is an ``interrupted`` bracket whose lower bound
+    equals that external bound — the matching witness lives elsewhere on
+    the bus, so the portfolio (not this worker) certifies optimality.
+    """
     budget = SearchBudget(time_limit=time_limit, node_limit=node_limit)
     name = "bb-tw"
     ins = obs.current()
@@ -81,7 +107,9 @@ def branch_and_bound_treewidth(
         with ins.tracer.span("root_bounds"):
             root_lb = treewidth_lower_bound(graph, methods=lb_methods, rng=rng)
             ub_width, ub_ordering = upper_bound_ordering(graph, "min-fill", rng)
-        incumbent = _Incumbent(ub_width, ub_ordering)
+        incumbent = _Incumbent(ub_width, ub_ordering, control)
+        if control is not None:
+            control.publish_lower(root_lb)
         if root_lb >= incumbent.width:
             return _finish(
                 certified(incumbent.width, incumbent.ordering, budget, name)
@@ -89,16 +117,42 @@ def branch_and_bound_treewidth(
 
         working = EliminationGraph(graph)
         aborted = False
+        ext_floor: int | None = None
+
+        def bound() -> int:
+            """Effective pruning bound: own incumbent vs the bus incumbent."""
+            nonlocal ext_floor
+            if control is not None:
+                shared = control.shared_upper_bound()
+                if shared is not None and shared < incumbent.width:
+                    ext_floor = (
+                        shared if ext_floor is None else min(ext_floor, shared)
+                    )
+                    return shared
+            return incumbent.width
 
         def visit(g: int, children: list[Vertex], forced: bool) -> None:
             """Depth-first expansion; ``children`` were computed by the parent
             (so PR2 could consult the pre-elimination graph)."""
             nonlocal aborted
-            if aborted or budget.exhausted():
+            if (
+                aborted
+                or budget.exhausted()
+                or (control is not None and control.should_stop())
+            ):
                 aborted = True
                 return
             budget.charge()
             nodes_total.inc()
+            if control is not None:
+                control.checkpoint(
+                    {
+                        "best_fitness": incumbent.width,
+                        "best_individual": list(incumbent.ordering),
+                        "lower_bound": root_lb,
+                        "nodes": budget.nodes,
+                    }
+                )
 
             remaining = working.num_vertices()
             prefix = working.eliminated()
@@ -123,9 +177,10 @@ def branch_and_bound_treewidth(
             for child in ranked:
                 if aborted:
                     return
+                limit = bound()
                 degree = working.degree(child)
                 child_g = max(g, degree)
-                if child_g >= incumbent.width:
+                if child_g >= limit:
                     prune_incumbent.inc()
                     continue
                 grandchildren = [
@@ -151,7 +206,7 @@ def branch_and_bound_treewidth(
                 h = treewidth_lower_bound(
                     working.graph(), methods=lb_methods, rng=rng
                 )
-                if max(child_g, h) < incumbent.width:
+                if max(child_g, h) < limit:
                     visit(child_g, grandchildren, child_forced)
                 else:
                     prune_lb.inc()
@@ -173,6 +228,20 @@ def branch_and_bound_treewidth(
                     root_lb, incumbent.width, incumbent.ordering, budget, name
                 )
             )
+        if ext_floor is not None and ext_floor < incumbent.width:
+            # Exhausted while pruning against a portfolio bound below our
+            # own incumbent: optimum >= that bound is proven here, the
+            # matching witness lives elsewhere on the bus.
+            final_lb = max(root_lb, ext_floor)
+            if control is not None:
+                control.publish_lower(final_lb)
+            return _finish(
+                interrupted(
+                    final_lb, incumbent.width, incumbent.ordering, budget, name
+                )
+            )
+        if control is not None:
+            control.publish_lower(incumbent.width)
         return _finish(
             certified(incumbent.width, incumbent.ordering, budget, name)
         )

@@ -97,3 +97,35 @@ class TestRun:
         )
         table = run_experiment(spec)
         assert table.column("astar") == [2, 3]
+
+
+class TestPortfolioColumn:
+    def test_portfolio_cell_certifies(self):
+        spec = ExperimentSpec(
+            instances=["bridge_3"],
+            measure="ghw",
+            algorithms=["portfolio", "sa"],
+            time_limit=10.0,
+        )
+        table = run_experiment(spec, collect_reports=True)
+        row = table.rows[0]
+        assert row["portfolio"] == 2
+        assert row["sa"] >= 2
+        cell_report = next(
+            r for r in table.reports if r.solver == "portfolio"
+        )
+        assert cell_report.status == "optimal"
+        assert cell_report.value == 2
+        # the cell's report nests one report per racing worker
+        assert len(cell_report.workers) >= 2
+        from repro.obs.report import validate_report
+
+        validate_report(cell_report.to_dict())
+
+    def test_portfolio_accepted_for_both_measures(self):
+        for measure, instance in (("tw", "grid3"), ("ghw", "adder_3")):
+            ExperimentSpec(
+                instances=[instance],
+                measure=measure,
+                algorithms=["portfolio"],
+            ).validated()

@@ -1,0 +1,80 @@
+"""HyperBench .hg parsing, formatting, and round trips."""
+
+import pytest
+
+from repro.hypergraphs.io import FormatError
+from repro.instances.hyperbench import format_hg, parse_hg, read_hg, write_hg
+from repro.instances.hypergraphs import bridge, grid2d
+
+
+class TestParse:
+    def test_multi_line_edges_and_comments(self):
+        text = """\
+% HyperBench export
+e1 (a, b, c),   % trailing comment
+e2 (c, d,
+    e),
+e3 (e, a).
+"""
+        hypergraph = parse_hg(text)
+        assert hypergraph.num_edges() == 3
+        assert hypergraph.edges()["e2"] == frozenset({"c", "d", "e"})
+
+    def test_lax_line_per_edge_dialect(self):
+        hypergraph = parse_hg("e1(a,b)\ne2(b,c)\n")
+        assert set(hypergraph.edges()) == {"e1", "e2"}
+
+    def test_names_with_interior_dots(self):
+        hypergraph = parse_hg("r1(t1.x, t2.y).")
+        assert hypergraph.edges()["r1"] == frozenset({"t1.x", "t2.y"})
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(FormatError, match="no hyperedges"):
+            parse_hg("% nothing here\n")
+
+    def test_junk_characters_rejected(self):
+        with pytest.raises(FormatError, match="unexpected characters"):
+            parse_hg("e1(a,b) !\n")
+
+    def test_content_after_final_period_rejected(self):
+        with pytest.raises(FormatError, match="after final period"):
+            parse_hg("e1(a,b). e2(c,d).")
+
+    def test_missing_member_rejected(self):
+        with pytest.raises(FormatError, match="expected a name"):
+            parse_hg("e1(,a).")
+
+    def test_unterminated_edge_rejected(self):
+        with pytest.raises(FormatError, match="end of file"):
+            parse_hg("e1(a,b")
+
+
+class TestRoundTrip:
+    def test_format_is_fixed_point(self):
+        text = format_hg(parse_hg("e1(a,b,c),e2(c,d)."))
+        assert format_hg(parse_hg(text)) == text
+
+    def test_generated_instances_round_trip(self, tmp_path):
+        # tuple vertices get mangled to .hg-safe tokens, so compare
+        # structure: same counts and same multiset of edge sizes
+        for name, instance in (("bridge", bridge(3)), ("grid", grid2d(3))):
+            path = tmp_path / f"{name}.hg"
+            write_hg(instance, path)
+            loaded = read_hg(path)
+            assert loaded.num_edges() == instance.num_edges()
+            assert loaded.num_vertices() == instance.num_vertices()
+            assert sorted(
+                len(edge) for edge in loaded.edges().values()
+            ) == sorted(len(edge) for edge in instance.edges().values())
+
+    def test_edges_comma_separated_period_terminated(self):
+        lines = format_hg(parse_hg("e1(a,b),e2(b,c).")).rstrip().splitlines()
+        assert lines[-2].endswith(",")  # separator between edges
+        assert lines[-1].endswith(".")  # terminator on the last edge
+
+    def test_unsafe_names_are_mangled(self):
+        from repro.hypergraphs.hypergraph import Hypergraph
+
+        text = format_hg(Hypergraph({"e1": {(0, 1), (1, 2)}}))
+        parsed = parse_hg(text)
+        assert parsed.edges()["e1"] == frozenset({"_0__1_", "_1__2_"})

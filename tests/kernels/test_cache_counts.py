@@ -1,0 +1,65 @@
+"""CoverCache.counts(): the atomic snapshot read behind obs deltas."""
+
+from repro import obs
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.kernels.cache import CoverCache
+from repro.kernels.evaluators import make_bit_ghw_evaluator
+
+
+class TestCounts:
+    def test_tracks_hits_misses_evictions(self):
+        cache = CoverCache(maxsize=2)
+        assert cache.counts() == (0, 0, 0)
+        cache.get(0, "greedy", 1)  # miss
+        cache.put(0, "greedy", 1, ("a",))
+        cache.get(0, "greedy", 1)  # hit
+        cache.put(0, "greedy", 2, ("b",))
+        cache.put(0, "greedy", 3, ("c",))  # evicts bag 1
+        assert cache.counts() == (1, 1, 1)
+
+    def test_counts_matches_stats(self):
+        cache = CoverCache(maxsize=4)
+        cache.get(0, "exact", 1)
+        cache.put(0, "exact", 1, ("a",))
+        cache.get(0, "exact", 1)
+        hits, misses, evictions = cache.counts()
+        stats = cache.stats()
+        assert (hits, misses, evictions) == (
+            stats["hits"], stats["misses"], stats["evictions"]
+        )
+
+    def test_clear_resets(self):
+        cache = CoverCache(maxsize=2)
+        cache.get(0, "greedy", 1)
+        cache.clear()
+        assert cache.counts() == (0, 0, 0)
+
+
+class TestEvaluatorDeltas:
+    def test_evaluator_publishes_cache_events(self, monkeypatch):
+        """Hit/miss/eviction deltas land on the ambient metrics, computed
+        from atomic snapshots rather than field-by-field reads."""
+        small = CoverCache(maxsize=16)
+        monkeypatch.setattr(
+            "repro.kernels.evaluators.cover_cache", lambda: small
+        )
+        hypergraph = Hypergraph(
+            {
+                "e1": {"a", "b"},
+                "e2": {"b", "c"},
+                "e3": {"c", "d"},
+                "e4": {"d", "a"},
+            }
+        )
+        with obs.instrument() as ins:
+            evaluate = make_bit_ghw_evaluator(hypergraph)
+            evaluate(["a", "b", "c", "d"])  # cold: misses
+            evaluate(["a", "b", "c", "d"])  # warm: hits
+            small.resize(1)  # evicts; the next delta picks it up
+            evaluate(["d", "c", "b", "a"])
+            counters = ins.metrics.snapshot_by_kind()["counters"]
+        hits, misses, evictions = small.counts()
+        assert counters.get('cover_cache{event="miss"}', 0) == misses
+        assert counters.get('cover_cache{event="hit"}', 0) == hits
+        assert counters.get('cover_cache{event="eviction"}', 0) == evictions
+        assert misses > 0 and hits > 0 and evictions > 0

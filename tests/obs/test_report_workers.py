@@ -1,0 +1,60 @@
+"""Nested worker reports in the RunReport schema."""
+
+import pytest
+
+from repro import obs
+from repro.obs.report import RunReport, validate_report
+
+
+def _worker_dict(solver="ga", **overrides):
+    with obs.instrument() as ins:
+        report = RunReport.capture(
+            ins, instance="x", solver=solver, measure="ghw",
+            status="heuristic", upper_bound=3,
+        )
+    data = report.to_dict()
+    data.update(overrides)
+    return data
+
+
+class TestWorkersField:
+    def test_default_is_empty_list(self):
+        with obs.instrument() as ins:
+            report = RunReport.capture(
+                ins, instance="x", solver="bb", measure="tw", status="optimal"
+            )
+        assert report.workers == []
+        validate_report(report.to_dict())
+
+    def test_valid_nested_reports_pass(self):
+        with obs.instrument() as ins:
+            report = RunReport.capture(
+                ins,
+                instance="x",
+                solver="portfolio",
+                measure="ghw",
+                status="optimal",
+                workers=[_worker_dict("ga"), _worker_dict("bb")],
+            )
+        data = report.to_dict()
+        validate_report(data)
+        restored = RunReport.from_dict(data)
+        assert [w["solver"] for w in restored.workers] == ["ga", "bb"]
+
+    def test_invalid_nested_report_named_by_index(self):
+        data = _worker_dict(
+            "portfolio", workers=[_worker_dict("ga"), {"solver": "bb"}]
+        )
+        with pytest.raises(ValueError, match=r"workers\[1\]"):
+            validate_report(data)
+
+    def test_wrong_type_rejected(self):
+        data = _worker_dict("portfolio", workers="not-a-list")
+        with pytest.raises(ValueError, match="workers"):
+            validate_report(data)
+
+    def test_nested_status_violation_surfaces(self):
+        bad = _worker_dict("ga", status="winning")
+        data = _worker_dict("portfolio", workers=[bad])
+        with pytest.raises(ValueError, match="status"):
+            validate_report(data)

@@ -1,0 +1,112 @@
+"""The bound bus: incumbent folding and both client implementations."""
+
+import multiprocessing as mp
+
+from repro.portfolio.bus import (
+    LB_SENTINEL,
+    UB_SENTINEL,
+    BoundMessage,
+    BusClient,
+    Incumbent,
+    InlineClient,
+)
+
+
+class TestIncumbent:
+    def test_upper_keeps_minimum_with_witness(self):
+        incumbent = Incumbent()
+        assert incumbent.offer_upper(5, ["a", "b"], "ga")
+        assert not incumbent.offer_upper(5, ["b", "a"], "sa")  # no improvement
+        assert incumbent.offer_upper(3, ["b", "a"], "sa")
+        assert incumbent.upper == 3
+        assert incumbent.ordering == ["b", "a"]
+        assert incumbent.upper_source == "sa"
+        assert incumbent.upper_improvements == 2
+
+    def test_lower_keeps_maximum(self):
+        incumbent = Incumbent()
+        assert incumbent.offer_lower(1, "bb")
+        assert not incumbent.offer_lower(1, "astar")
+        assert incumbent.offer_lower(2, "bb")
+        assert incumbent.lower == 2
+        assert incumbent.lower_source == "bb"
+
+    def test_closed_when_bounds_meet(self):
+        incumbent = Incumbent()
+        assert not incumbent.closed
+        incumbent.offer_upper(3, None, "ga")
+        assert not incumbent.closed
+        incumbent.offer_lower(2, "bb")
+        assert not incumbent.closed
+        incumbent.offer_lower(3, "bb")
+        assert incumbent.closed
+
+
+class TestInlineClient:
+    def test_bounds_flow_through_incumbent(self):
+        incumbent = Incumbent()
+        first = InlineClient("ga", incumbent)
+        second = InlineClient("bb", incumbent)
+        first.publish_upper(4, ["x", "y"])
+        assert second.shared_upper_bound() == 4
+        second.publish_lower(2)
+        assert first.shared_lower_bound() == 2
+
+    def test_stops_on_deadline(self):
+        clock = iter([0.0, 5.0, 11.0])
+        client = InlineClient(
+            "ga", Incumbent(), deadline=10.0, clock=lambda: next(clock)
+        )
+        assert not client.should_stop()
+        assert not client.should_stop()
+        assert client.should_stop()
+
+    def test_stops_when_incumbent_closes(self):
+        incumbent = Incumbent()
+        client = InlineClient("ga", incumbent)
+        assert not client.should_stop()
+        incumbent.offer_upper(2, None, "ga")
+        incumbent.offer_lower(2, "bb")
+        assert client.should_stop()
+
+
+class TestBusClient:
+    def _client(self, name="ga"):
+        context = mp.get_context()
+        queue = context.Queue()
+        stop_event = context.Event()
+        shared_upper = context.Value("q", UB_SENTINEL)
+        shared_lower = context.Value("q", LB_SENTINEL)
+        return (
+            BusClient(name, queue, stop_event, shared_upper, shared_lower),
+            queue,
+            stop_event,
+        )
+
+    def test_sentinels_read_as_none(self):
+        client, _, _ = self._client()
+        assert client.shared_upper_bound() is None
+        assert client.shared_lower_bound() is None
+
+    def test_publish_folds_eagerly_and_enqueues(self):
+        client, queue, _ = self._client()
+        client.publish_upper(4, ["a", "b"])
+        client.publish_upper(6)  # worse: queued, but shared value keeps 4
+        client.publish_lower(2)
+        assert client.shared_upper_bound() == 4
+        assert client.shared_lower_bound() == 2
+        messages = [queue.get(timeout=5) for _ in range(3)]
+        assert [m.type for m in messages] == ["upper", "upper", "lower"]
+        assert messages[0].ordering == ["a", "b"]
+        assert messages[0].worker == "ga"
+
+    def test_stop_event(self):
+        client, _, stop_event = self._client()
+        assert not client.should_stop()
+        stop_event.set()
+        assert client.should_stop()
+
+    def test_bound_message_defaults(self):
+        message = BoundMessage(type="result", worker="bb")
+        assert message.payload == {}
+        assert message.value is None

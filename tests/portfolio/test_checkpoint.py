@@ -1,0 +1,124 @@
+"""Checkpoint persistence: throttling, atomicity, revival, manifests."""
+
+import json
+import random
+
+from repro.portfolio.checkpoint import (
+    Checkpointer,
+    decode_rng_state,
+    encode_rng_state,
+    list_worker_states,
+    load_worker_state,
+    read_manifest,
+    revive_vertices,
+    write_manifest,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRngRoundTrip:
+    def test_identical_continuation(self):
+        rng = random.Random(42)
+        rng.random()
+        encoded = json.loads(json.dumps(encode_rng_state(rng.getstate())))
+        replay = random.Random()
+        replay.setstate(decode_rng_state(encoded))
+        assert [replay.random() for _ in range(5)] == [
+            rng.random() for _ in range(5)
+        ]
+
+
+class TestCheckpointer:
+    def test_throttle_keeps_freshest(self, tmp_path):
+        clock = FakeClock()
+        checkpointer = Checkpointer(tmp_path, "ga", interval_s=1.0, clock=clock)
+        checkpointer.offer({"best_fitness": 5})  # first write is immediate
+        clock.now = 0.5
+        checkpointer.offer({"best_fitness": 4})  # throttled: pending only
+        assert checkpointer.writes == 1
+        assert load_worker_state(tmp_path, "ga")["best_fitness"] == 5
+        checkpointer.flush()
+        assert load_worker_state(tmp_path, "ga")["best_fitness"] == 4
+
+    def test_interval_elapsed_writes_again(self, tmp_path):
+        clock = FakeClock()
+        checkpointer = Checkpointer(tmp_path, "ga", interval_s=1.0, clock=clock)
+        checkpointer.offer({"best_fitness": 5})
+        clock.now = 2.0
+        checkpointer.offer({"best_fitness": 3})
+        assert checkpointer.writes == 2
+        assert load_worker_state(tmp_path, "ga")["best_fitness"] == 3
+
+    def test_flush_without_pending_is_noop(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path, "ga")
+        checkpointer.flush()
+        assert load_worker_state(tmp_path, "ga") is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path, "ga")
+        checkpointer.offer({"best_fitness": 5})
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_rng_state_round_trips_through_file(self, tmp_path):
+        rng = random.Random(7)
+        checkpointer = Checkpointer(tmp_path, "sa")
+        checkpointer.offer({"best_fitness": 2, "rng_state": rng.getstate()})
+        state = load_worker_state(tmp_path, "sa")
+        replay = random.Random()
+        replay.setstate(state["rng_state"])
+        assert replay.random() == rng.random()
+
+
+class TestListAndManifest:
+    def test_list_worker_states(self, tmp_path):
+        Checkpointer(tmp_path, "ga").offer({"best_fitness": 4})
+        Checkpointer(tmp_path, "bb").offer({"best_fitness": 3, "lower_bound": 2})
+        states = list_worker_states(tmp_path)
+        assert set(states) == {"ga", "bb"}
+        assert states["bb"]["lower_bound"] == 2
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert list_worker_states(tmp_path / "nope") == {}
+
+    def test_manifest_round_trip(self, tmp_path):
+        manifest = {"measure": "ghw", "strategies": [{"name": "bb"}]}
+        write_manifest(tmp_path, manifest)
+        assert read_manifest(tmp_path) == manifest
+        assert read_manifest(tmp_path / "nope") is None
+
+
+class TestReviveVertices:
+    def test_tuple_vertices_restored(self):
+        vertices = [(0, 0), (0, 1), (1, 0)]
+        state = json.loads(
+            json.dumps(
+                {
+                    "best_fitness": 2,
+                    "best_individual": [(0, 1), (0, 0), (1, 0)],
+                    "population": [[(0, 0), (0, 1), (1, 0)]],
+                    "tabu": [[(0, 1), 17]],
+                }
+            )
+        )
+        revived = revive_vertices(state, vertices)
+        assert revived["best_individual"] == [(0, 1), (0, 0), (1, 0)]
+        assert revived["population"] == [[(0, 0), (0, 1), (1, 0)]]
+        assert revived["tabu"] == [[(0, 1), 17]]
+        assert revived["best_fitness"] == 2
+
+    def test_string_and_int_vertices_untouched(self):
+        state = {"best_individual": ["a", "b"], "fitnesses": [3, 4]}
+        revived = revive_vertices(state, ["a", "b"])
+        assert revived == state
+
+    def test_rng_state_skipped(self):
+        rng_state = random.Random(0).getstate()
+        revived = revive_vertices({"rng_state": rng_state}, [(0, 1)])
+        assert revived["rng_state"] is rng_state
