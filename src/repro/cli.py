@@ -15,6 +15,11 @@ Race the anytime portfolio (shared bounds, early stop on lb == ub)::
     repro-decompose portfolio --instance cycle_6 --measure ghw \\
         --strategies bb,ga,sa,tabu --time-limit 10
 
+Differentially test the whole solver matrix on seeded random instances,
+certifying every claimed width against a validated witness::
+
+    repro-decompose verify --seeds 50
+
 The tool prints the result line the thesis tables use: instance, |V|,
 |E| or |H|, lb, ub, value, nodes, time.
 """
@@ -322,6 +327,13 @@ def main_portfolio(argv: list[str]) -> int:
             ins,
             result,
             instance_name=label,
+            certified=_certify_claim(
+                loaded,
+                args.measure,
+                result.ordering,
+                result.upper_bound,
+                strict=args.measure == "tw",
+            ),
             meta={
                 "seed": args.seed,
                 "backend": args.backend,
@@ -384,6 +396,32 @@ def _bound_fields(bound: int) -> dict:
     }
 
 
+def _certify_claim(
+    loaded: Graph | Hypergraph,
+    measure: str,
+    ordering,
+    upper: int | None,
+    strict: bool,
+) -> bool | None:
+    """``certified`` flag for telemetry: rebuild the witness decomposition
+    behind an upper-bound claim and validate it (``None`` when the solver
+    surfaced no witness ordering to check)."""
+    if upper is None or not ordering:
+        return None
+    from repro.verify.certify import certify_ghw_witness, certify_tw_witness
+
+    if measure == "tw":
+        graph = (
+            loaded.primal_graph() if isinstance(loaded, Hypergraph) else loaded
+        )
+        return certify_tw_witness(
+            graph, list(ordering), upper, strict=strict
+        ).ok
+    return certify_ghw_witness(
+        loaded, list(ordering), upper, strict=strict
+    ).ok
+
+
 @contextmanager
 def _plain_context():
     """Stand-in for ``obs.instrument()`` when telemetry flags are off."""
@@ -409,18 +447,25 @@ def _run_measure(
             )
             print(f"{label}  {size}  {result.summary()}")
             fields = _search_fields(result)
+            fields["certified"] = _certify_claim(
+                loaded, "tw", result.ordering, result.upper_bound, strict=True
+            )
         elif args.algorithm in ("sa", "tabu"):
             from repro.localsearch import sa_treewidth, tabu_treewidth
 
             run = sa_treewidth if args.algorithm == "sa" else tabu_treewidth
-            bound = run(
+            local = run(
                 loaded,
                 seed=args.seed,
                 time_limit=args.time_limit,
                 backend=args.backend,
-            ).best_fitness
+            )
+            bound = local.best_fitness
             print(f"{label}  {size}  tw <= {bound} ({args.algorithm})")
             fields = _bound_fields(bound)
+            fields["certified"] = _certify_claim(
+                loaded, "tw", local.best_individual, bound, strict=True
+            )
         else:
             bound = treewidth_upper_bound(
                 loaded,
@@ -482,18 +527,25 @@ def _run_measure(
             )
             print(f"{label}  {size}  {result.summary()}")
             fields = _search_fields(result)
+            fields["certified"] = _certify_claim(
+                loaded, "ghw", result.ordering, result.upper_bound, strict=True
+            )
         elif args.algorithm in ("sa", "tabu"):
             from repro.localsearch import sa_ghw, tabu_ghw
 
             run = sa_ghw if args.algorithm == "sa" else tabu_ghw
-            bound = run(
+            local = run(
                 loaded,
                 seed=args.seed,
                 time_limit=args.time_limit,
                 backend=args.backend,
-            ).best_fitness
+            )
+            bound = local.best_fitness
             print(f"{label}  {size}  ghw <= {bound} ({args.algorithm})")
             fields = _bound_fields(bound)
+            fields["certified"] = _certify_claim(
+                loaded, "ghw", local.best_individual, bound, strict=False
+            )
         else:
             bound = ghw_upper_bound(
                 loaded,
@@ -527,6 +579,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "portfolio":
         return main_portfolio(argv[1:])
+    if argv and argv[0] == "verify":
+        from repro.verify.cli import main_verify
+
+        return main_verify(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)

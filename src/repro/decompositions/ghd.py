@@ -101,16 +101,36 @@ class GeneralizedHypertreeDecomposition:
                     f"chi({node}) not contained in var(lambda({node}))"
                 )
 
+    def realised_edges(self, hypergraph: Hypergraph) -> set[EdgeName]:
+        """Hyperedges realised at some node: ``h in lambda(p)`` and
+        ``h <= chi(p)`` (the Definition 14 condition, per edge).
+
+        Raises :class:`DecompositionError` when the lambda-labels are out
+        of sync with the tree, naming the offending nodes, instead of
+        surfacing a bare ``KeyError`` from the cover lookup.
+        """
+        out_of_sync = set(self.covers) ^ set(self.tree.bags)
+        if out_of_sync:
+            raise DecompositionError(
+                "lambda labels out of sync with tree at nodes "
+                f"{sorted(out_of_sync)}: every tree node needs exactly "
+                "one cover"
+            )
+        edges = hypergraph.edges()
+        realised: set[EdgeName] = set()
+        for node, cover in self.covers.items():
+            bag = self.tree.bags[node]
+            for name in cover:
+                if name in realised:
+                    continue
+                edge = edges.get(name)
+                if edge is not None and edge <= bag:
+                    realised.add(name)
+        return realised
+
     def is_complete(self, hypergraph: Hypergraph) -> bool:
         """Definition 14: every hyperedge realised at some node."""
-        edges = hypergraph.edges()
-        for name, edge in edges.items():
-            if not any(
-                name in self.covers[node] and edge <= self.tree.bags[node]
-                for node in self.tree.nodes()
-            ):
-                return False
-        return True
+        return self.realised_edges(hypergraph) == set(hypergraph.edges())
 
     def __repr__(self) -> str:
         return (
@@ -131,12 +151,9 @@ def make_complete(
     """
     result = ghd.copy()
     edges = hypergraph.edges()
+    realised = result.realised_edges(hypergraph)
     for name, edge in edges.items():
-        realised = any(
-            name in result.covers[node] and edge <= result.tree.bags[node]
-            for node in result.tree.nodes()
-        )
-        if realised:
+        if name in realised:
             continue
         host = next(
             (

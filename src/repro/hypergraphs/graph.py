@@ -24,6 +24,23 @@ from typing import Any
 Vertex = Hashable
 
 
+def vertex_sort_key(vertex: Vertex) -> tuple:
+    """The library-wide canonical sort key for vertices.
+
+    Every deterministic vertex tie-break — the simplicial reduction
+    rules, the bitset kernels' interning, witness-ordering fallbacks —
+    must sort with this one key so the pure-Python and bitset paths pick
+    identical vertices. Real numbers order by value (``2`` before
+    ``10``), everything else by ``repr``; numbers sort before
+    non-numbers so mixed vertex families still have one total order.
+    ``bool`` is excluded from the numeric branch because ``True == 1``
+    would collide with an integer vertex ``1``.
+    """
+    if isinstance(vertex, (int, float)) and not isinstance(vertex, bool):
+        return (0, vertex, "")
+    return (1, 0, repr(vertex))
+
+
 class Graph:
     """A simple undirected graph (no loops, no parallel edges)."""
 

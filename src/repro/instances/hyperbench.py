@@ -112,7 +112,8 @@ def parse_hg(text: str) -> Hypergraph:
     return hypergraph
 
 
-_UNSAFE = re.compile(r"[^A-Za-z0-9_\-:$]")
+_UNSAFE = re.compile(r"[^A-Za-z0-9_\-:$.]")
+_DOT_RUNS = re.compile(r"\.\.+")
 
 
 def _safe_names(values) -> dict:
@@ -120,13 +121,16 @@ def _safe_names(values) -> dict:
 
     Generated instances use tuple vertices (``(0, 1)``); their ``str``
     forms contain parentheses and commas, so unsafe characters are
-    replaced by underscores. Collisions (two values mangling to the same
-    token) are refused rather than silently merged.
+    replaced by underscores. Interior dots are part of the token grammar
+    (``c1.x``) and survive; leading, trailing and consecutive dots would
+    break tokenization and are stripped or collapsed. Collisions (two
+    values mangling to the same token) are refused rather than silently
+    merged.
     """
     mapping: dict = {}
     taken: dict[str, object] = {}
     for value in sorted(values, key=str):
-        token = _UNSAFE.sub("_", str(value)).strip(".") or "v"
+        token = _DOT_RUNS.sub(".", _UNSAFE.sub("_", str(value))).strip(".") or "v"
         if token in taken and taken[token] != value:
             raise FormatError(
                 f"names {taken[token]!r} and {value!r} both map to "
@@ -144,11 +148,22 @@ def format_hg(hypergraph: Hypergraph) -> str:
     deterministic and diffs cleanly; a parse -> format round trip on
     ``.hg``-safe names is a fixed point.
     """
+    edges = hypergraph.edges()
+    covered: set = set()
+    for edge in edges.values():
+        covered |= edge
+    isolated = hypergraph.vertices() - covered
+    if isolated:
+        # ``.hg`` has no syntax for edge-less vertices; writing them would
+        # silently drop them on the next parse. Refuse instead.
+        raise FormatError(
+            "cannot express isolated vertices in .hg: "
+            f"{sorted(map(repr, isolated))}"
+        )
     lines = [
         f"% {hypergraph.num_vertices()} vertices, "
         f"{hypergraph.num_edges()} hyperedges"
     ]
-    edges = hypergraph.edges()
     edge_names = _safe_names(edges.keys())
     vertex_names = _safe_names(hypergraph.vertices())
     ordered = sorted(edges.items(), key=lambda kv: edge_names[kv[0]])

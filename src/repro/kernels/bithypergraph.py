@@ -10,8 +10,9 @@ intersection ``&``, cardinality ``int.bit_count()`` — all C-speed
 operations on machine words, following the bitmask designs of the
 Gottlob–Samer backtracking solver and the HyperBench tooling.
 
-Interning is deterministic (vertices sorted by ``repr``, edges in
-insertion order), so the mapping between a structure and its bitset view
+Interning is deterministic (vertices in the library-wide canonical order
+of :func:`~repro.hypergraphs.graph.vertex_sort_key`, edges in insertion
+order), so the mapping between a structure and its bitset view
 is reproducible across processes — which the parallel evaluator relies
 on — and round-trips exactly (property-tested).
 """
@@ -20,7 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.hypergraphs.graph import Graph, Vertex
+from repro.hypergraphs.graph import Graph, Vertex, vertex_sort_key
 from repro.hypergraphs.hypergraph import EdgeName, Hypergraph
 from repro.kernels.cache import family_token
 
@@ -46,7 +47,7 @@ class BitGraph:
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "BitGraph":
-        vertices = sorted(graph.vertices(), key=repr)
+        vertices = sorted(graph.vertices(), key=vertex_sort_key)
         index = {vertex: i for i, vertex in enumerate(vertices)}
         nbr_masks = [0] * len(vertices)
         for vertex in vertices:
@@ -128,7 +129,7 @@ class BitHypergraph(BitGraph):
 
     @classmethod
     def from_hypergraph(cls, hypergraph: Hypergraph) -> "BitHypergraph":
-        vertices = sorted(hypergraph.vertices(), key=repr)
+        vertices = sorted(hypergraph.vertices(), key=vertex_sort_key)
         index = {vertex: i for i, vertex in enumerate(vertices)}
         edge_names: list[EdgeName] = []
         edge_masks: list[int] = []

@@ -42,6 +42,7 @@ _FIELD_TYPES: dict[str, tuple[bool, tuple[type, ...]]] = {
     "histograms": (True, (dict,)),
     "spans": (True, (list,)),
     "peak_rss_kb": (False, (int, type(None))),
+    "certified": (False, (bool, type(None))),
     "meta": (False, (dict,)),
     "workers": (False, (list,)),
 }
@@ -76,6 +77,10 @@ class RunReport:
     histograms: dict = field(default_factory=dict)
     spans: list = field(default_factory=list)
     peak_rss_kb: int | None = None
+    certified: bool | None = None
+    """Whether the claimed width was certified against a validated
+    witness decomposition (``None``: certification was not attempted)."""
+
     meta: dict = field(default_factory=dict)
     workers: list = field(default_factory=list)
     """Nested per-worker reports (portfolio runs): plain report dicts,
@@ -96,6 +101,7 @@ class RunReport:
         lower_bound: int | float | None = None,
         upper_bound: int | float | None = None,
         elapsed_s: float = 0.0,
+        certified: bool | None = None,
         meta: dict | None = None,
         workers: list | None = None,
     ) -> "RunReport":
@@ -115,6 +121,7 @@ class RunReport:
             histograms=by_kind["histograms"],
             spans=instruments.tracer.tree(),
             peak_rss_kb=peak_rss_kb(),
+            certified=certified,
             meta=dict(meta or {}),
             workers=list(workers or []),
         )
@@ -149,8 +156,11 @@ def validate_report(data: dict) -> None:
             if required:
                 problems.append(f"missing required field {name!r}")
             continue
-        # bool is an int subclass; reject it where int is expected.
-        if isinstance(data[name], bool) or not isinstance(data[name], types):
+        # bool is an int subclass; reject it where int is expected
+        # (unless the field genuinely allows bool).
+        if (
+            isinstance(data[name], bool) and bool not in types
+        ) or not isinstance(data[name], types):
             expected = "/".join(t.__name__ for t in types)
             problems.append(
                 f"field {name!r} has type {type(data[name]).__name__}, "

@@ -496,8 +496,14 @@ def portfolio_report(
     result: PortfolioResult,
     instance_name: str,
     meta: dict | None = None,
+    certified: bool | None = None,
 ) -> RunReport:
-    """The portfolio-level RunReport, nesting every worker's report."""
+    """The portfolio-level RunReport, nesting every worker's report.
+
+    ``certified`` records whether the incumbent's witness ordering was
+    re-validated (see :mod:`repro.verify.certify`); the scheduler itself
+    never certifies — callers that do pass the flag through.
+    """
     from repro.portfolio.results import portfolio_status
 
     status = portfolio_status(result)
@@ -517,6 +523,7 @@ def portfolio_report(
         lower_bound=result.lower_bound,
         upper_bound=result.upper_bound,
         elapsed_s=result.elapsed,
+        certified=certified,
         meta=combined_meta,
         workers=result.worker_reports,
     )

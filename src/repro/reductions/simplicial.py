@@ -21,12 +21,18 @@ does not transfer to cover *numbers*, so BB-ghw/A*-ghw do not use it.
 
 from __future__ import annotations
 
-from repro.hypergraphs.graph import Graph, Vertex
+from repro.hypergraphs.graph import Graph, Vertex, vertex_sort_key
 
 
 def find_simplicial(graph: Graph) -> Vertex | None:
-    """Some simplicial vertex, or ``None``. Deterministic tie-break."""
-    for vertex in sorted(graph.vertices(), key=repr):
+    """Some simplicial vertex, or ``None``.
+
+    Ties break on :func:`~repro.hypergraphs.graph.vertex_sort_key`, the
+    same canonical order the bitset kernels intern vertices in, so the
+    python and bitset paths force identical reduction vertices (integer
+    vertices order numerically, not lexicographically by ``repr``).
+    """
+    for vertex in sorted(graph.vertices(), key=vertex_sort_key):
         if graph.is_simplicial(vertex):
             return vertex
     return None
@@ -41,7 +47,7 @@ def find_strongly_almost_simplicial(
     distinguish the two rules; use :func:`find_reduction_vertex` for the
     combined search the A* algorithms perform.
     """
-    for vertex in sorted(graph.vertices(), key=repr):
+    for vertex in sorted(graph.vertices(), key=vertex_sort_key):
         if graph.degree(vertex) > lower_bound:
             continue
         if graph.is_simplicial(vertex):

@@ -1,0 +1,206 @@
+"""Delta-debugging shrinker for divergent instances.
+
+A conformance divergence on a 9-vertex random instance is real evidence
+but a poor regression test: half the structure is noise. This module
+minimises the instance while the caller-supplied predicate ("the matrix
+still diverges on this hypergraph") keeps holding — classic ddmin over
+the hyperedges first, then greedy removal of individual vertices — and
+emits the minimal instance as a ready-to-commit pytest file.
+
+The predicate is treated as expensive (it re-runs solver cells), so
+results are memoised by the hypergraph's edge structure and the total
+number of predicate evaluations is capped.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.hypergraphs.hypergraph import EdgeName, Hypergraph
+from repro.verify.conformance import Divergence
+
+
+def subhypergraph(
+    hypergraph: Hypergraph, edge_names: list[EdgeName]
+) -> Hypergraph:
+    """The hypergraph induced by a subset of hyperedges.
+
+    Vertices are the union of the kept edges — vertices left edge-less
+    by the restriction are dropped, since ghw (and the ``.hg`` format)
+    are only defined for covered vertices.
+    """
+    edges = hypergraph.edges()
+    return Hypergraph({name: edges[name] for name in edge_names})
+
+
+class _Oracle:
+    """Memoised, budgeted wrapper around the interestingness predicate."""
+
+    def __init__(self, predicate, max_checks: int) -> None:
+        self._predicate = predicate
+        self._budget = max_checks
+        self._cache: dict[frozenset, bool] = {}
+
+    def __call__(self, hypergraph: Hypergraph) -> bool:
+        if hypergraph.num_edges() == 0:
+            return False
+        key = frozenset(hypergraph.edges().items())
+        if key in self._cache:
+            return self._cache[key]
+        if self._budget <= 0:
+            return False
+        self._budget -= 1
+        try:
+            verdict = bool(self._predicate(hypergraph))
+        except Exception:
+            # A predicate that crashes on a candidate cannot vouch for
+            # it; treat the candidate as uninteresting so the shrinker
+            # only ever returns instances the predicate accepted.
+            verdict = False
+        self._cache[key] = verdict
+        return verdict
+
+
+def _ddmin_edges(
+    hypergraph: Hypergraph, oracle: _Oracle
+) -> Hypergraph:
+    """Zeller-style ddmin over the hyperedge list."""
+    names = sorted(hypergraph.edge_names(), key=str)
+    granularity = 2
+    while len(names) >= 2:
+        chunk = max(1, len(names) // granularity)
+        chunks = [
+            names[i : i + chunk] for i in range(0, len(names), chunk)
+        ]
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [
+                name
+                for j, piece in enumerate(chunks)
+                for name in piece
+                if j != index
+            ]
+            if complement and oracle(subhypergraph(hypergraph, complement)):
+                names = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(names):
+                break
+            granularity = min(len(names), granularity * 2)
+    return subhypergraph(hypergraph, names)
+
+
+def _drop_vertices(
+    hypergraph: Hypergraph, oracle: _Oracle
+) -> Hypergraph:
+    """Greedy one-vertex-at-a-time removal (edges shrink, may vanish)."""
+    changed = True
+    while changed:
+        changed = False
+        for vertex in sorted(hypergraph.vertices(), key=repr):
+            keep = hypergraph.vertices() - {vertex}
+            if not keep:
+                continue
+            candidate = hypergraph.restrict(keep)
+            # restrict() keeps now-isolated vertices; rebuild from the
+            # surviving edges so every vertex stays covered.
+            candidate = subhypergraph(candidate, candidate.edge_names())
+            if candidate.num_edges() and oracle(candidate):
+                hypergraph = candidate
+                changed = True
+                break
+    return hypergraph
+
+
+def shrink_hypergraph(
+    hypergraph: Hypergraph, predicate, max_checks: int = 400
+) -> Hypergraph:
+    """Minimise ``hypergraph`` while ``predicate`` stays true.
+
+    ``predicate(candidate) -> bool`` must be true for the input itself;
+    the returned hypergraph satisfies it too and is 1-minimal up to the
+    evaluation budget (no single removed hyperedge or vertex can be
+    dropped while keeping the predicate true).
+    """
+    oracle = _Oracle(predicate, max_checks)
+    if not oracle(hypergraph):
+        raise ValueError(
+            "predicate is false on the unshrunk instance; nothing to "
+            "minimise"
+        )
+    shrunk = _ddmin_edges(hypergraph, oracle)
+    shrunk = _drop_vertices(shrunk, oracle)
+    return shrunk
+
+
+# ----------------------------------------------------------------------
+# regression emission
+# ----------------------------------------------------------------------
+
+_SLUG_UNSAFE = re.compile(r"[^a-z0-9_]+")
+
+
+def _slug(text: str) -> str:
+    return _SLUG_UNSAFE.sub("_", text.lower()).strip("_") or "divergence"
+
+
+def _edges_literal(hypergraph: Hypergraph) -> str:
+    lines = ["{"]
+    for name, edge in sorted(hypergraph.edges().items(), key=lambda kv: str(kv[0])):
+        members = ", ".join(repr(v) for v in sorted(edge, key=repr))
+        lines.append(f"        {name!r}: {{{members}}},")
+    lines.append("    }")
+    return "\n".join(lines)
+
+
+def write_regression(
+    hypergraph: Hypergraph,
+    divergence: Divergence,
+    directory: str | Path,
+    portfolio: bool | None = None,
+) -> Path:
+    """Write a shrunk divergence as a pytest file under ``directory``.
+
+    The emitted test embeds the minimised hypergraph as a literal and
+    re-runs the full conformance matrix on it, asserting no divergence —
+    exactly the check that failed before the underlying bug was fixed.
+    """
+    if portfolio is None:
+        portfolio = divergence.kind.startswith("resume")
+    slug = _slug(f"{divergence.kind}_{divergence.family}_{divergence.seed}")
+    path = Path(directory) / f"test_shrunk_{slug}.py"
+    cells = "+".join(divergence.cells)
+    body = f'''"""Shrunk conformance regression: {divergence.kind} on
+{divergence.instance} ({cells}).
+
+{divergence.detail}
+
+Generated by repro.verify.shrink from the minimised divergent instance;
+the matrix must stay divergence-free on it.
+"""
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.verify.conformance import check_hypergraph
+from repro.verify.generators import VerifyInstance
+
+HYPERGRAPH = Hypergraph(
+    {_edges_literal(hypergraph)}
+)
+
+
+def test_shrunk_{slug}():
+    instance = VerifyInstance(
+        name={divergence.instance!r},
+        family={divergence.family!r},
+        seed={divergence.seed!r},
+        hypergraph=HYPERGRAPH,
+    )
+    verdict = check_hypergraph(instance, portfolio={portfolio!r})
+    assert verdict.ok, [str(d) for d in verdict.divergences]
+'''
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(body)
+    return path

@@ -1,0 +1,122 @@
+"""Fuzzing the HyperBench ``.hg`` round trip.
+
+The properties: ``format_hg`` output always re-parses, formatting is a
+fixed point after one round (idempotence even when names get mangled),
+and lossy situations — isolated vertices, name collisions — are refused
+loudly instead of silently dropping structure.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.io import FormatError
+from repro.instances.hyperbench import format_hg, parse_hg
+
+ACCEPTABLE = (FormatError, ValueError)
+
+# Vertex labels spanning everything generators produce: ints, strings
+# (including .hg-unsafe and dot-bearing spellings), and tuples.
+vertex_labels = st.one_of(
+    st.integers(min_value=-5, max_value=30),
+    st.text(
+        alphabet="abcxy._-:$()0 ", min_size=1, max_size=6
+    ),
+    st.tuples(st.integers(0, 3), st.integers(0, 3)),
+)
+
+hypergraphs = st.lists(
+    st.sets(vertex_labels, min_size=1, max_size=5),
+    min_size=1,
+    max_size=6,
+).map(
+    lambda edges: Hypergraph(
+        {f"e{i}": members for i, members in enumerate(edges)}
+    )
+)
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_parser_never_crashes_uncleanly(text):
+    try:
+        parse_hg(text)
+    except ACCEPTABLE:
+        pass
+
+
+@given(hypergraphs)
+@settings(max_examples=100, deadline=None)
+def test_format_parse_format_is_idempotent(hypergraph):
+    # Name mangling may rewrite labels on the first pass, but the
+    # written file must re-parse and re-format to the identical text.
+    try:
+        text = format_hg(hypergraph)
+    except FormatError:
+        return  # collision after mangling: refusing is the contract
+    reparsed = parse_hg(text)
+    assert format_hg(reparsed) == text
+    assert reparsed.num_edges() == hypergraph.num_edges()
+    assert sorted(len(e) for e in reparsed.edge_sets()) == sorted(
+        len(e) for e in hypergraph.edge_sets()
+    )
+
+
+@given(hypergraphs)
+@settings(max_examples=50, deadline=None)
+def test_round_trip_preserves_safe_names(hypergraph):
+    # When every label is already a legal .hg token, the round trip is
+    # the identity on structure, not just on shape.
+    try:
+        text = format_hg(hypergraph)
+    except FormatError:
+        return
+    reparsed = parse_hg(text)
+    token = re.compile(r"[A-Za-z0-9_\-:$]+(?:\.[A-Za-z0-9_\-:$]+)*")
+    safe = all(
+        isinstance(v, str) and token.fullmatch(v)
+        for v in hypergraph.vertices()
+    )
+    if safe:
+        assert reparsed.vertices() == hypergraph.vertices()
+
+
+class TestLossyCasesRefused:
+    def test_isolated_vertex_refused(self):
+        hypergraph = Hypergraph({"e1": {"a", "b"}}, vertices=["lonely"])
+        with pytest.raises(FormatError, match="isolated vertices"):
+            format_hg(hypergraph)
+
+    def test_mangling_collision_refused(self):
+        hypergraph = Hypergraph({"e1": {"a(b", "a)b"}})
+        with pytest.raises(FormatError, match="both map"):
+            format_hg(hypergraph)
+
+
+class TestSpecificRoundTrips:
+    def test_interior_dots_survive(self):
+        text = format_hg(parse_hg("r1(t1.x, t2.y)."))
+        assert "t1.x" in text and "t2.y" in text
+        assert parse_hg(text).vertices() == {"t1.x", "t2.y"}
+
+    def test_leading_and_trailing_dots_mangled_not_crashed(self):
+        hypergraph = Hypergraph({"e1": {".a", "b."}})
+        text = format_hg(hypergraph)
+        reparsed = parse_hg(text)
+        assert reparsed.vertices() == {"a", "b"}
+
+    def test_single_vertex_edges(self):
+        text = format_hg(parse_hg("e1(a),\ne2(a, b)."))
+        reparsed = parse_hg(text)
+        assert reparsed.edges()["e1"] == frozenset({"a"})
+
+    def test_multi_line_edges_with_comments(self):
+        text = "% header\ne1 (a, b,\n   c), % comment\ne2 (c, d)."
+        assert format_hg(parse_hg(text)) == format_hg(
+            parse_hg("e1(a,b,c),e2(c,d).")
+        )

@@ -1,0 +1,78 @@
+"""Satellite of the conformance harness: a portfolio race killed
+mid-run and resumed from its checkpoints must land on the same final
+incumbent width as the uninterrupted race — and the incumbent must
+carry a certifiable witness either way.
+
+The resume contract makes this sound, not just likely: the incumbent is
+seeded from every snapshot's best-so-far bounds before any worker
+restarts, and both races keep the exact member (BB) that closes the
+bounds on an instance this small, so both must prove the same optimum.
+"""
+
+from repro.instances.hypergraphs import grid2d
+from repro.portfolio.scheduler import (
+    PortfolioSpec,
+    resume_portfolio,
+    run_portfolio,
+)
+from repro.portfolio.strategies import StrategySpec
+from repro.verify.certify import certify_ghw_witness
+
+GA_OPTIONS = {"population_size": 10, "max_iterations": 10}
+
+
+def strategies(seed: int) -> list[StrategySpec]:
+    return [
+        StrategySpec(name="bb", kind="bb", seed=seed),
+        StrategySpec(name="ga", kind="ga", seed=seed + 1, options=dict(GA_OPTIONS)),
+    ]
+
+
+def spec(seed: int, **overrides) -> PortfolioSpec:
+    settings = dict(
+        measure="ghw",
+        strategies=strategies(seed),
+        mode="inline",
+        time_limit=10.0,
+        seed=seed,
+        instance_name="grid3x3",
+    )
+    settings.update(overrides)
+    return PortfolioSpec(**settings)
+
+
+def test_killed_then_resumed_race_matches_uninterrupted(tmp_path):
+    hypergraph = grid2d(3, 3)
+    fresh = run_portfolio(hypergraph, spec(seed=5))
+    assert fresh.optimal
+
+    checkpoint_dir = str(tmp_path / "race")
+    killed = run_portfolio(
+        hypergraph,
+        spec(
+            seed=5,
+            time_limit=0.15,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=0.01,
+        ),
+    )
+    resumed = resume_portfolio(
+        hypergraph, checkpoint_dir, time_limit=10.0, mode="inline"
+    )
+
+    assert resumed.optimal
+    assert resumed.upper_bound == fresh.upper_bound
+    # Resume seeds the incumbent from the snapshots, so it can only
+    # match or improve what the killed race had found.
+    if killed.upper_bound is not None:
+        assert resumed.upper_bound <= killed.upper_bound
+
+    for result in (fresh, resumed):
+        certification = certify_ghw_witness(
+            hypergraph,
+            list(result.ordering),
+            result.upper_bound,
+            strict=False,
+        )
+        assert certification.ok, certification.reason
+        assert certification.witness_width <= result.upper_bound

@@ -1,0 +1,62 @@
+"""The ``repro-decompose verify`` subcommand."""
+
+import json
+
+from repro.cli import main
+from repro.verify.cli import main_verify
+
+
+class TestVerifyCli:
+    def test_clean_sweep_exits_zero(self, capsys):
+        code = main_verify(
+            ["--seeds", "2", "--no-portfolio", "--measures", "tw"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify-primal-0" in out
+        assert "0 divergences" in out
+
+    def test_quiet_only_prints_summary(self, capsys):
+        code = main_verify(
+            ["--seeds", "1", "--quiet", "--no-portfolio", "--measures", "tw"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert out[0].startswith("conformance:")
+
+    def test_json_report_written(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main_verify(
+            [
+                "--seeds", "1", "--quiet", "--no-portfolio",
+                "--measures", "tw", "--json-out", str(report_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["instances"] == 1
+        capsys.readouterr()
+
+    def test_bad_family_rejected(self, capsys):
+        assert main_verify(["--families", "nope"]) == 2
+        assert "unknown families" in capsys.readouterr().err
+
+    def test_bad_measure_rejected(self, capsys):
+        assert main_verify(["--measures", "hw"]) == 2
+        assert "unknown measures" in capsys.readouterr().err
+
+    def test_bad_seeds_rejected(self, capsys):
+        assert main_verify(["--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_dispatch_from_main(self, capsys):
+        code = main(
+            [
+                "verify", "--seeds", "1", "--quiet", "--no-portfolio",
+                "--measures", "tw",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()

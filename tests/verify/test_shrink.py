@@ -1,0 +1,95 @@
+"""Delta-debugging shrinker: minimal, predicate-preserving, emittable."""
+
+import pytest
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.verify.conformance import Divergence
+from repro.verify.shrink import (
+    shrink_hypergraph,
+    subhypergraph,
+    write_regression,
+)
+
+
+def big_instance() -> Hypergraph:
+    edges = {f"noise{i}": {10 * i + 1, 10 * i + 2, 10 * i + 3} for i in range(6)}
+    edges["bad"] = {0, 1, 2, 3}
+    edges["link"] = {3, 11}
+    return Hypergraph(edges)
+
+
+class TestShrink:
+    def test_minimises_to_the_interesting_core(self):
+        # Interesting = "some hyperedge still contains both 0 and 1".
+        shrunk = shrink_hypergraph(
+            big_instance(),
+            lambda h: any(edge >= {0, 1} for edge in h.edge_sets()),
+        )
+        assert shrunk.num_edges() == 1
+        assert shrunk.vertices() == {0, 1}
+
+    def test_result_always_satisfies_predicate(self):
+        predicate = lambda h: "bad" in h.edges() and h.num_vertices() >= 3
+        shrunk = shrink_hypergraph(big_instance(), predicate)
+        assert predicate(shrunk)
+        assert shrunk.num_vertices() == 3
+
+    def test_false_on_input_rejected(self):
+        with pytest.raises(ValueError, match="false on the unshrunk"):
+            shrink_hypergraph(big_instance(), lambda h: False)
+
+    def test_crashing_predicate_treated_as_uninteresting(self):
+        def predicate(h: Hypergraph) -> bool:
+            if h.num_edges() < 3:
+                raise RuntimeError("degenerate candidate")
+            return True
+
+        shrunk = shrink_hypergraph(big_instance(), predicate)
+        assert shrunk.num_edges() >= 3
+
+    def test_budget_caps_evaluations(self):
+        calls = []
+
+        def predicate(h: Hypergraph) -> bool:
+            calls.append(1)
+            return any(edge >= {0, 1} for edge in h.edge_sets())
+
+        shrink_hypergraph(big_instance(), predicate, max_checks=5)
+        assert len(calls) <= 5
+
+    def test_subhypergraph_drops_uncovered_vertices(self):
+        sub = subhypergraph(big_instance(), ["bad"])
+        assert sub.vertices() == {0, 1, 2, 3}
+        assert sub.edge_names() == ["bad"]
+
+
+class TestWriteRegression:
+    def test_emitted_file_is_a_passing_pytest(self, tmp_path):
+        divergence = Divergence(
+            instance="verify-acyclic-2",
+            family="acyclic",
+            seed=2,
+            measure="ghw",
+            kind="uncertified",
+            cells=["ga-python-ghw"],
+            detail="example divergence",
+        )
+        hypergraph = Hypergraph({"e0": {0, 1}, "e1": {1, 2}})
+        path = write_regression(hypergraph, divergence, tmp_path)
+        assert path.name == "test_shrunk_uncertified_acyclic_2.py"
+        source = path.read_text()
+        assert "check_hypergraph" in source
+        namespace: dict = {}
+        exec(compile(source, str(path), "exec"), namespace)
+        assert namespace["HYPERGRAPH"] == hypergraph
+        namespace["test_shrunk_uncertified_acyclic_2"]()
+
+    def test_resume_divergences_keep_portfolio_cells(self, tmp_path):
+        divergence = Divergence(
+            instance="i", family="primal", seed=0, measure="tw",
+            kind="resume-regression", cells=["portfolio-resumed-tw"],
+        )
+        path = write_regression(
+            Hypergraph({"e": {0, 1}}), divergence, tmp_path
+        )
+        assert "portfolio=True" in path.read_text()
